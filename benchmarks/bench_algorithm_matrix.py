@@ -1,0 +1,45 @@
+"""All exact solvers on one workload: the cross-algorithm matrix.
+
+NA, PIN, PIN-VO, PIN-VO* (paper) plus GRID (extension) on the default
+F-like workload — agreement asserted, work counters recorded.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS
+from repro.experiments.datasets import timing_world
+from repro.prob import PowerLawPF
+
+from conftest import run_once
+
+PF = PowerLawPF()
+TAU = 0.7
+EXACT = ("NA", "PIN", "PIN-VO", "PIN-VO*", "GRID")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    world = timing_world("F")
+    ds = world.dataset
+    rng = np.random.default_rng(13)
+    candidates, _ = ds.sample_candidates(300, rng)
+    reference = ALGORITHMS["NA"]().select(ds.objects, candidates, PF, TAU)
+    return ds, candidates, reference
+
+
+@pytest.mark.parametrize("name", EXACT)
+def test_exact_solver_matrix(benchmark, record, workload, name):
+    ds, candidates, reference = workload
+    result = run_once(
+        benchmark,
+        lambda: ALGORITHMS[name]().select(ds.objects, candidates, PF, TAU),
+    )
+    assert result.best_influence == reference.best_influence
+    inst = result.instrumentation
+    record(
+        f"matrix_{name.replace('*', 'star').replace('-', '_')}",
+        f"{name}: best={result.best_influence} "
+        f"positions={inst.positions_evaluated:,} "
+        f"pruned={inst.pruned_fraction():.2f}",
+    )

@@ -1,0 +1,38 @@
+"""Fig 8: runtime vs number of candidates (200..1000) on F and G.
+
+Paper shapes to reproduce: cost grows with the candidate count; NA is
+slowest; PIN-VO scales best; PIN and PIN-VO* sit in between.  We assert
+on the machine-independent work counters (positions evaluated) and on
+the NA-vs-PIN-VO wall-clock gap.
+"""
+
+import pytest
+
+from repro.experiments import run_candidate_scalability
+
+from conftest import run_once
+
+COUNTS = (200, 400, 600, 800, 1000)
+
+
+@pytest.mark.parametrize("dataset", ["F", "G"])
+def test_fig8_candidate_scalability(benchmark, record, dataset):
+    result = run_once(
+        benchmark,
+        lambda: run_candidate_scalability(dataset, candidate_counts=COUNTS),
+    )
+    record(f"fig08_scalability_candidates_{dataset}", result.render())
+
+    # Work grows with candidate count for the exhaustive baseline.
+    assert result.positions["NA"] == sorted(result.positions["NA"])
+    for i in range(len(COUNTS)):
+        na_pos = result.positions["NA"][i]
+        pin_pos = result.positions["PIN"][i]
+        vo_pos = result.positions["PIN-VO"][i]
+        # Pruning removes a large share of NA's work...
+        assert pin_pos < na_pos
+        # ...and the validation strategies remove more still.
+        assert vo_pos < pin_pos
+    # Wall clock: PIN-VO beats NA clearly at every sweep point.
+    for na_s, vo_s in zip(result.seconds["NA"], result.seconds["PIN-VO"]):
+        assert vo_s < na_s

@@ -1,0 +1,27 @@
+"""Fig 9: runtime vs number of objects (Gowalla, 600 candidates).
+
+Paper: 2k..10k objects of the full Gowalla; here 200..1000 of the
+10%-scaled G-like world (same fraction of the dataset).  Shape: cost
+grows with the object count, ordering NA > PIN-VO* ≳ PIN > PIN-VO.
+"""
+
+from repro.experiments import run_object_scalability
+
+from conftest import run_once
+
+COUNTS = (200, 400, 600, 800, 1000)
+
+
+def test_fig9_object_scalability(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: run_object_scalability("G", object_counts=COUNTS),
+    )
+    record("fig09_scalability_objects", result.render())
+
+    assert result.positions["NA"] == sorted(result.positions["NA"])
+    for i in range(len(COUNTS)):
+        assert result.positions["PIN"][i] < result.positions["NA"][i]
+        assert result.positions["PIN-VO"][i] < result.positions["PIN"][i]
+    # At the largest size the wall-clock ordering must match the paper.
+    assert result.seconds["PIN-VO"][-1] < result.seconds["NA"][-1]

@@ -1,0 +1,46 @@
+"""Fig 10: pruning effect of the IA / NIB rules, varying τ.
+
+Paper shapes to reproduce:
+
+* roughly two thirds of candidate-object pairs are pruned on average;
+* on Foursquare the influence arcs dominate; on Gowalla the
+  non-influence boundary dominates;
+* as τ grows, IA pruning weakens and NIB pruning strengthens.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_pruning_effect
+
+from conftest import run_once
+
+TAUS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+@pytest.mark.parametrize("dataset", ["F", "G"])
+def test_fig10_pruning_effect(benchmark, record, dataset):
+    result = run_once(
+        benchmark, lambda: run_pruning_effect(dataset, taus=TAUS)
+    )
+    record(f"fig10_pruning_{dataset}", result.render())
+
+    ia = np.array(result.ia_fraction)
+    nib = np.array(result.nib_fraction)
+    validated = np.array(result.validated_fraction)
+    np.testing.assert_allclose(ia + nib + validated, 1.0, atol=1e-9)
+
+    # IA pruning weakens and NIB pruning strengthens as tau grows.
+    assert ia[0] >= ia[-1]
+    assert nib[-1] >= nib[0]
+
+    # ~2/3 pruned on average across the sweep (allow a broad band).
+    assert float(np.mean(ia + nib)) > 0.5
+
+    if dataset == "F":
+        # Dense city: the influence arcs do the heavy lifting.
+        assert ia.mean() > nib.mean()
+    else:
+        # Wide-area data: the non-influence boundary dominates
+        # at the default and stricter thresholds.
+        assert nib[-2] > ia[-2]

@@ -1,0 +1,26 @@
+"""Fig 12: effect of the probability threshold τ.
+
+Paper shapes: maximum influence decreases monotonically in τ; PIN-VO
+stays well below NA across the sweep.
+"""
+
+import pytest
+
+from repro.experiments import run_effect_tau
+
+from conftest import run_once
+
+TAUS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+@pytest.mark.parametrize("dataset", ["F", "G"])
+def test_fig12_effect_tau(benchmark, record, dataset):
+    result = run_once(benchmark, lambda: run_effect_tau(dataset, taus=TAUS))
+    record(f"fig12_effect_tau_{dataset}", result.render())
+
+    # Max influence is non-increasing in tau.
+    for earlier, later in zip(result.max_influence, result.max_influence[1:]):
+        assert later <= earlier
+    # PIN-VO consistently beats NA.
+    for na_s, vo_s in zip(result.na_seconds, result.vo_seconds):
+        assert vo_s < na_s

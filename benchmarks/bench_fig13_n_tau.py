@@ -1,0 +1,37 @@
+"""Fig 13: the ⟨n, τ⟩ level curve of equal maximum influence.
+
+Paper findings to reproduce: τ must grow with n to hold influence
+constant; the tuned optima are nearly the same location; a polynomial
+fit through the curve predicts held-out ⟨n, τ⟩ pairs tightly (the
+paper reports <1.2% influence error; we assert the τ-prediction error).
+"""
+
+import numpy as np
+
+from repro.experiments import run_n_tau_levelcurve
+
+from conftest import run_once
+
+
+def test_fig13_level_curve(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: run_n_tau_levelcurve(
+            "G",
+            curve_ns=(10, 20, 30, 40, 50),
+            check_ns=(15, 25, 35, 45),
+        ),
+    )
+    record("fig13_n_tau_levelcurve", result.render())
+
+    # The level curve is monotone: more positions tolerate a stricter tau.
+    assert result.taus == sorted(result.taus)
+
+    # Influences along the curve stay close to the reference.
+    ref = result.reference_influence
+    for influence in result.influences:
+        assert abs(influence - ref) <= max(3, 0.05 * ref)
+
+    # Held-out tau predictions from the polynomial fit are tight
+    # (mean absolute error in tau units).
+    assert float(np.mean(result.fit_check_errors)) < 0.08

@@ -1,0 +1,24 @@
+"""Fig 14: effect of the power-law exponent λ ∈ {0.75, 1.0, 1.25}.
+
+Shape: steeper decay (larger λ) lowers cumulative probabilities and
+with them the maximum influence; PIN-VO's advantage over NA persists
+across the sweep.
+"""
+
+import pytest
+
+from repro.experiments import run_effect_lambda
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("dataset", ["F", "G"])
+def test_fig14_effect_lambda(benchmark, record, dataset):
+    result = run_once(benchmark, lambda: run_effect_lambda(dataset))
+    record(f"fig14_effect_lambda_{dataset}", result.render())
+
+    # Max influence decreases as lambda grows.
+    for earlier, later in zip(result.max_influence, result.max_influence[1:]):
+        assert later <= earlier
+    for na_s, vo_s in zip(result.na_seconds, result.vo_seconds):
+        assert vo_s < na_s

@@ -1,0 +1,23 @@
+"""Fig 15: effect of the behaviour factor ρ ∈ {0.5, 0.7, 0.9}.
+
+Shape: higher ρ (stronger influence at every distance) raises the
+maximum influence; PIN-VO's advantage over NA persists.
+"""
+
+import pytest
+
+from repro.experiments import run_effect_rho
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("dataset", ["F", "G"])
+def test_fig15_effect_rho(benchmark, record, dataset):
+    result = run_once(benchmark, lambda: run_effect_rho(dataset))
+    record(f"fig15_effect_rho_{dataset}", result.render())
+
+    # Max influence increases with rho.
+    for earlier, later in zip(result.max_influence, result.max_influence[1:]):
+        assert later >= earlier
+    for na_s, vo_s in zip(result.na_seconds, result.vo_seconds):
+        assert vo_s < na_s

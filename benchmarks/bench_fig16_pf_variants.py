@@ -1,0 +1,24 @@
+"""Fig 16: PINOCCHIO under alternative probability functions.
+
+The framework must handle Logsig, Convex, Concave and Linear PFs
+without modification: PIN-VO stays exact (identical winner influence
+to NA) and within the same runtime ballpark across functions.
+"""
+
+from repro.experiments import run_pf_variants
+
+from conftest import run_once
+
+
+def test_fig16_pf_variants(benchmark, record):
+    result = run_once(benchmark, lambda: run_pf_variants("F"))
+    record("fig16_pf_variants", result.render())
+
+    assert result.names == ["Logsig", "Convex", "Concave", "Linear"]
+    # Exactness under every PF — the paper's core Fig 16 claim.
+    assert all(result.exact)
+    # "Despite slight differences ... our model can handle different
+    # PFs": no function is pathologically slower than the rest.
+    fastest = min(result.vo_seconds)
+    slowest = max(result.vo_seconds)
+    assert slowest < fastest * 25 + 0.5

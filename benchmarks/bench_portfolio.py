@@ -1,0 +1,47 @@
+"""Multi-location (portfolio) selection: greedy coverage quality.
+
+Extension after Xu et al.'s group location selection: the greedy
+(1−1/e) algorithm on exact PRIME-LS influence sets.  Asserts the
+approximation bound against the exhaustive optimum on a small slice
+and records the coverage curve on the full workload.
+"""
+
+import numpy as np
+
+from repro.core.portfolio import exact_portfolio, greedy_portfolio
+from repro.experiments.datasets import timing_world
+from repro.prob import PowerLawPF
+
+from conftest import run_once
+
+PF = PowerLawPF()
+TAU = 0.9
+
+
+def test_portfolio_selection(benchmark, record):
+    world = timing_world("G")
+    ds = world.dataset
+    rng = np.random.default_rng(17)
+    candidates, _ = ds.sample_candidates(150, rng)
+    objects = ds.subset_objects(400, rng)
+
+    def sweep():
+        return [
+            greedy_portfolio(objects, candidates, PF, TAU, k=k)[1]
+            for k in (1, 2, 4, 8)
+        ]
+
+    coverages = run_once(benchmark, sweep)
+    assert coverages == sorted(coverages)  # monotone in k
+    record(
+        "portfolio_coverage",
+        "greedy k-location coverage (of 400 objects): "
+        + ", ".join(f"k={k}: {c}" for k, c in zip((1, 2, 4, 8), coverages)),
+    )
+
+    # Approximation-bound spot check against the exact optimum.
+    small_objects = objects[:80]
+    small_cands = candidates[:10]
+    __, greedy_cov = greedy_portfolio(small_objects, small_cands, PF, TAU, k=3)
+    __, exact_cov = exact_portfolio(small_objects, small_cands, PF, TAU, k=3)
+    assert greedy_cov >= (1 - 1 / np.e) * exact_cov - 1e-9

@@ -1,0 +1,24 @@
+"""§4.3 Remark: the analytic pruning model versus measurement.
+
+The paper derives ``m' = (S_N − S_I) / (δ² w h) · m`` for uniformly
+distributed candidates.  With our closed-form ``S_I``/``S_N`` the
+analytic surviving fraction must match a Monte-Carlo measurement.
+"""
+
+import pytest
+
+from repro.experiments import run_pruning_model_check
+
+from conftest import run_once
+
+
+def test_remark_analytic_model_matches_measurement(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: run_pruning_model_check(
+            taus=(0.3, 0.5, 0.7, 0.9), n_objects=150, n_candidates=3_000
+        ),
+    )
+    record("remark_pruning_model", result.render())
+    for analytic, measured in zip(result.analytic, result.measured):
+        assert analytic == pytest.approx(measured, abs=0.02)

@@ -1,0 +1,20 @@
+"""Location-stability extension: bootstrap + noise robustness."""
+
+import numpy as np
+
+from repro.experiments import run_location_stability
+
+from conftest import run_once
+
+
+def test_location_stability(benchmark, record):
+    result = run_once(benchmark, run_location_stability)
+    record("stability", result.render())
+
+    # Winners of resampled populations stay within a few km of the
+    # baseline in a ~40 km city (the paper's "locations barely move").
+    assert float(np.mean(result.bootstrap_distances_km)) < 10.0
+    # Realistic GPS noise (<= 200 m) does not move the winner at all.
+    by_level = dict(zip(result.noise_levels_km, result.noise_distances_km))
+    assert by_level[0.05] < 1.0
+    assert by_level[0.2] < 2.0

@@ -1,0 +1,15 @@
+"""Table 2: generate the F-like and G-like datasets and report stats."""
+
+from repro.experiments import run_table2
+
+from conftest import run_once
+
+
+def test_table2_dataset_generation(benchmark, record):
+    result = run_once(benchmark, run_table2)
+    record("table2_datasets", result.render())
+    # The scaled stand-ins must preserve Table 2's check-in shape.
+    assert result.stats["F"]["min check-ins"] == 3
+    assert result.stats["F"]["max check-ins"] == 661
+    assert result.stats["G"]["min check-ins"] == 2
+    assert result.stats["G"]["max check-ins"] == 780

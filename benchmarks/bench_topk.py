@@ -1,0 +1,53 @@
+"""Top-k PRIME-LS (extension): shortlist cost vs full ranking.
+
+Not a paper figure — DESIGN.md §5 ablation territory.  Checks that the
+generalised Strategy-1 bound keeps top-k much cheaper than PIN's full
+influence table while returning identical top-k influence values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pinocchio import Pinocchio
+from repro.core.topk import TopKPrimeLS
+from repro.experiments.datasets import timing_world
+from repro.prob import PowerLawPF
+
+from conftest import run_once
+
+PF = PowerLawPF()
+TAU = 0.8
+
+
+@pytest.fixture(scope="module")
+def workload():
+    world = timing_world("F")
+    ds = world.dataset
+    rng = np.random.default_rng(9)
+    candidates, _ = ds.sample_candidates(400, rng)
+    return ds, candidates
+
+
+@pytest.mark.parametrize("k", [1, 5, 20])
+def test_topk_extension(benchmark, record, workload, k):
+    ds, candidates = workload
+    solver = TopKPrimeLS(k=k)
+    result = run_once(
+        benchmark, lambda: solver.select(ds.objects, candidates, PF, TAU)
+    )
+    reference = Pinocchio().select(ds.objects, candidates, PF, TAU)
+    got = [v for _, v in solver.top_k_of(result)]
+    expected = [v for _, v in reference.ranking()[:k]]
+    assert got == expected
+    record(
+        f"topk_k{k}",
+        f"top-{k}: validated pairs "
+        f"{result.instrumentation.pairs_validated:,} vs PIN "
+        f"{reference.instrumentation.pairs_validated:,}; "
+        f"candidates skipped {result.instrumentation.candidates_skipped_strategy1}",
+    )
+    # The shortlist solver never does more validation work than PIN.
+    assert (
+        result.instrumentation.pairs_validated
+        <= reference.instrumentation.pairs_validated
+    )

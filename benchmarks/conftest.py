@@ -1,0 +1,31 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every bench runs one experiment driver through pytest-benchmark
+(single round — these are experiments, not microbenchmarks), prints
+the paper-style table, and archives it under ``results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Print a rendered experiment table and archive it to results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,80 @@
+"""Visual site analysis: regions, top-k sites, trajectory discretisation.
+
+Combines three library features beyond the basic solver:
+
+* continuous commuter trajectories discretised into moving objects
+  (paper §3.1's "sampling using the same time interval"),
+* top-k PRIME-LS — a shortlist of sites instead of a single winner,
+* SVG rendering of the paper's geometric machinery (activity MBRs,
+  influence arcs, non-influence boundaries) for a few objects.
+
+Run with::
+
+    python examples/visual_site_analysis.py
+
+and open ``site_analysis.svg``.
+"""
+
+import numpy as np
+
+from repro import Candidate, top_k_locations
+from repro.prob import ExponentialPF
+from repro.model.trajectory import daily_commuter_trajectory
+from repro.viz import render_scene
+from repro.viz.scene import save_scene
+
+
+def main() -> None:
+    rng = np.random.default_rng(8)
+    extent = 25.0
+
+    # 80 commuters moving between random home/work pairs for a week,
+    # discretised at 24 samples per day (the paper's recommended rate).
+    objects = []
+    for oid in range(80):
+        home = tuple(rng.uniform(0.15 * extent, 0.85 * extent, 2))
+        work = tuple(rng.uniform(0.15 * extent, 0.85 * extent, 2))
+        trajectory = daily_commuter_trajectory(oid, home, work, rng)
+        objects.append(
+            trajectory.resample(24 * 7, jitter_km=0.05, rng=rng)
+        )
+
+    # Candidate sites on a jittered grid.
+    candidates = []
+    site_id = 0
+    for gx in np.linspace(2, extent - 2, 9):
+        for gy in np.linspace(2, extent - 2, 9):
+            candidates.append(
+                Candidate(
+                    site_id,
+                    float(gx + rng.normal(0, 0.4)),
+                    float(gy + rng.normal(0, 0.4)),
+                )
+            )
+            site_id += 1
+
+    # A short-range PF: with 168 positions per commuter the paper's
+    # heavy-tailed power law influences everyone from everywhere; a
+    # walking-distance exponential keeps the problem spatial.
+    pf = ExponentialPF(rho=0.8, length=1.0)
+    tau = 0.9
+
+    shortlist = top_k_locations(objects, candidates, pf, tau, k=5)
+    print("top-5 sites by probabilistic influence:")
+    for rank, (cand, influence) in enumerate(shortlist, start=1):
+        print(
+            f"  {rank}. site {cand.candidate_id} at "
+            f"({cand.x:.1f}, {cand.y:.1f}) km — reaches {influence}/80 commuters"
+        )
+
+    # Render a handful of objects with their IA/NIB regions plus the
+    # winning site, like the paper's Figs 3-5.
+    svg = render_scene(
+        objects[:4], candidates, pf, tau, best=shortlist[0][0]
+    )
+    path = save_scene("site_analysis.svg", svg)
+    print(f"\nscene written to {path} (open in a browser)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Placing a wildlife monitoring station over migrating animals.
+
+The paper's introduction lists "a new monitoring station to track wild
+animals' migration" as a PRIME-LS application.  Here each animal is a
+moving object whose positions come from two seasonal ranges (summer /
+winter) connected by a migration corridor; the detection probability
+of a station decays exponentially with distance (sensor-like, bounded
+support rather than the heavy-tailed check-in power law).
+
+PRIME-LS finds the station with a realistic chance of detecting the
+most animals at least once.  Because detection is *cumulative* over
+every position an animal visits, the winning site lands where the most
+animals spend the most time (a shared seasonal range) — a placement a
+nearest-neighbour or snapshot analysis of any single season would get
+wrong.
+
+Run with::
+
+    python examples/wildlife_monitoring.py
+"""
+
+import numpy as np
+
+from repro import Candidate, MovingObject, select_location
+from repro.prob import ExponentialPF
+
+
+def simulate_herds(
+    n_animals: int = 120,
+    positions_per_animal: int = 30,
+    seed: int = 21,
+) -> list[MovingObject]:
+    """Animals migrating between a northern and a southern range.
+
+    Each animal has a home offset within both seasonal ranges; its
+    positions are split between the ranges plus a few samples along
+    the corridor connecting them.
+    """
+    rng = np.random.default_rng(seed)
+    summer_center = np.array([20.0, 80.0])
+    winter_center = np.array([60.0, 10.0])
+    animals = []
+    for animal_id in range(n_animals):
+        offset = rng.normal(0.0, 6.0, size=2)
+        n_summer = positions_per_animal // 2
+        n_corridor = max(2, positions_per_animal // 10)
+        n_winter = positions_per_animal - n_summer - n_corridor
+        summer = summer_center + offset + rng.normal(0, 3.0, size=(n_summer, 2))
+        winter = winter_center + offset + rng.normal(0, 3.0, size=(n_winter, 2))
+        # Corridor samples: linear interpolation with jitter.
+        ts = rng.uniform(0.2, 0.8, size=(n_corridor, 1))
+        corridor = (
+            summer_center + offset
+            + ts * (winter_center - summer_center)
+            + rng.normal(0, 2.0, size=(n_corridor, 2))
+        )
+        animals.append(
+            MovingObject(animal_id, np.concatenate([summer, corridor, winter]))
+        )
+    return animals
+
+
+def station_candidates() -> list[Candidate]:
+    """A coarse grid of feasible station sites."""
+    sites = []
+    site_id = 0
+    for x in np.linspace(5, 75, 8):
+        for y in np.linspace(5, 85, 9):
+            sites.append(Candidate(site_id, float(x), float(y), label="site"))
+            site_id += 1
+    return sites
+
+
+def main() -> None:
+    animals = simulate_herds()
+    sites = station_candidates()
+    # Sensor detection: 90% at the mast, ~33% at 5 km, negligible at 25 km.
+    pf = ExponentialPF(rho=0.9, length=5.0)
+    tau = 0.6
+
+    result = select_location(animals, sites, pf=pf, tau=tau, algorithm="PIN-VO")
+    best = result.best_candidate
+    print(
+        f"best station: site {best.candidate_id} at ({best.x:.1f}, {best.y:.1f}) km, "
+        f"detecting {result.best_influence}/{len(animals)} animals "
+        f"with probability >= {tau}"
+    )
+
+    # Compare against the naive single-range placements.
+    from repro.core.naive import exact_influence
+
+    for name, (x, y) in (
+        ("summer range centre", (20.0, 80.0)),
+        ("winter range centre", (60.0, 10.0)),
+        ("corridor midpoint", (40.0, 45.0)),
+    ):
+        influence = exact_influence(animals, x, y, pf, tau)
+        print(f"  {name:20s} ({x:4.1f}, {y:4.1f}) -> {influence} animals")
+
+    inst = result.instrumentation
+    print(
+        f"\npruning resolved {inst.pruned_fraction():.0%} of pairs; "
+        f"{inst.dead_objects} animals were undetectable at tau={tau}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Classical LS baselines the paper compares against (§6.1).
+
+* :class:`repro.baselines.brnn_star.BRNNStar` — "BRNN*": the
+  MaxOverlap/MaxBRNN technique of Wong et al. [16], extended to moving
+  objects exactly as the paper does: each object selects the candidate
+  that is the nearest neighbour of the most of its positions, and
+  candidates are ranked by how many objects selected them.
+* :class:`repro.baselines.range_based.RangeBaseline` — "RANGE": an
+  object is influenced when at least a given proportion of its
+  positions lie within a given range of the candidate; the paper
+  averages a 3×3 grid of (proportion, range) combinations.
+"""
+
+from repro.baselines.brnn_star import BRNNStar
+from repro.baselines.brnn_classic import (
+    influence_sets,
+    max_influence_location,
+    nearest_candidate_assignment,
+)
+from repro.baselines.range_based import RangeBaseline, range_parameter_grid
+from repro.baselines.maxrs import MaxRSResult, max_rs, max_rs_over_objects
+
+__all__ = [
+    "MaxRSResult",
+    "max_rs",
+    "max_rs_over_objects",
+    "BRNNStar",
+    "RangeBaseline",
+    "range_parameter_grid",
+    "influence_sets",
+    "max_influence_location",
+    "nearest_candidate_assignment",
+]

@@ -1,0 +1,62 @@
+"""BRNN* — nearest-neighbour location selection extended to mobility.
+
+§6.2: "we run MaxOverlap algorithm [16] to select for each object O
+the best location c, which influences the most positions in O.
+Afterwards, we choose the location that has been selected by the most
+objects."
+
+Positions vote for their nearest candidate; each object endorses the
+candidate collecting the most of its position votes (ties broken by
+candidate index for determinism); candidates are ranked by
+endorsements.  This inherits the limitations PRIME-LS lifts — binary
+influence, NN-only, one facility per object — which is exactly why the
+paper uses it as the classical-semantics representative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import LocationSelector, candidates_to_array
+from repro.core.result import Instrumentation, LSResult
+from repro.model.candidate import Candidate
+from repro.model.moving_object import MovingObject
+from repro.prob.base import ProbabilityFunction
+
+
+class BRNNStar(LocationSelector):
+    """Each object endorses the candidate that is NN of most positions."""
+
+    name = "BRNN*"
+
+    def _run(
+        self,
+        objects: list[MovingObject],
+        candidates: list[Candidate],
+        pf: ProbabilityFunction,
+        tau: float,
+    ) -> LSResult:
+        # pf and tau are part of the common interface but NN semantics
+        # ignore them (binary, probability-free influence).
+        cand_xy = candidates_to_array(candidates)
+        m = cand_xy.shape[0]
+        votes = np.zeros(m, dtype=int)
+        counters = Instrumentation()
+        counters.pairs_total = len(objects) * m
+        for obj in objects:
+            dx = obj.positions[:, 0][:, None] - cand_xy[:, 0][None, :]
+            dy = obj.positions[:, 1][:, None] - cand_xy[:, 1][None, :]
+            nearest = np.argmin(np.hypot(dx, dy), axis=1)
+            counts = np.bincount(nearest, minlength=m)
+            votes[int(np.argmax(counts))] += 1
+            counters.positions_evaluated += obj.n_positions * m
+        influences = {j: int(votes[j]) for j in range(m)}
+        best_idx = max(influences, key=lambda idx: (influences[idx], -idx))
+        return LSResult(
+            algorithm=self.name,
+            best_candidate=candidates[best_idx],
+            best_influence=influences[best_idx],
+            influences=influences,
+            elapsed_seconds=0.0,
+            instrumentation=counters,
+        )

@@ -1,0 +1,197 @@
+"""Exact MaxRS — maximising range sum (Choi et al. [18], §2.1).
+
+Another classical LS variant from the paper's related work: find the
+position of an axis-aligned ``w × h`` rectangle that maximises the
+total weight of the points it covers.  The textbook reduction: a
+rectangle centred at ``q`` covers point ``p`` iff ``q`` lies in the
+``w × h`` rectangle centred at ``p``; MaxRS therefore equals the
+maximum-depth point over ``n`` weighted rectangles, found by a plane
+sweep over x with a segment tree (max + range-add) over compressed y
+intervals — ``O(n log n)``.
+
+Provided as a substrate/baseline: applied to a moving-object workload
+(each position a point, optionally weighted ``1/n_O`` so every object
+contributes equally) it is the strongest "range semantics" competitor
+— still blind to the probabilistic, cumulative influence PRIME-LS
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.model.moving_object import MovingObject
+
+
+class _MaxAddSegmentTree:
+    """Segment tree over ``k`` slots supporting range-add and global max."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("need at least one slot")
+        self.k = k
+        size = 1
+        while size < k:
+            size *= 2
+        self.size = size
+        self.max = [0.0] * (2 * size)
+        self.lazy = [0.0] * (2 * size)
+
+    def add(self, lo: int, hi: int, value: float) -> None:
+        """Add ``value`` on the slot range ``[lo, hi]`` (inclusive)."""
+        self._add(1, 0, self.size - 1, lo, hi, value)
+
+    def _add(self, node: int, node_lo: int, node_hi: int,
+             lo: int, hi: int, value: float) -> None:
+        if hi < node_lo or node_hi < lo:
+            return
+        if lo <= node_lo and node_hi <= hi:
+            self.max[node] += value
+            self.lazy[node] += value
+            return
+        mid = (node_lo + node_hi) // 2
+        self._add(2 * node, node_lo, mid, lo, hi, value)
+        self._add(2 * node + 1, mid + 1, node_hi, lo, hi, value)
+        self.max[node] = self.lazy[node] + max(
+            self.max[2 * node], self.max[2 * node + 1]
+        )
+
+    @property
+    def global_max(self) -> float:
+        return self.max[1]
+
+    def argmax_slot(self) -> int:
+        """A slot index achieving the global maximum.
+
+        Invariant: for internal nodes,
+        ``max[node] = lazy[node] + max(max[left], max[right])`` — so the
+        descent simply follows the child with the larger stored max.
+        """
+        node = 1
+        while node < self.size:
+            left, right = 2 * node, 2 * node + 1
+            node = left if self.max[left] >= self.max[right] else right
+        return node - self.size
+
+
+@dataclass(frozen=True, slots=True)
+class MaxRSResult:
+    """The best rectangle centre and the weight it covers."""
+
+    x: float
+    y: float
+    weight: float
+
+
+def max_rs(
+    points: np.ndarray,
+    width: float,
+    height: float,
+    weights: Sequence[float] | None = None,
+) -> MaxRSResult:
+    """Exact MaxRS over weighted points by plane sweep.
+
+    ``points`` is ``(n, 2)``; the rectangle is ``width × height``,
+    closed on all sides; uniform unit weights by default.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2 or points.shape[0] == 0:
+        raise ValueError("points must be a non-empty (n, 2) array")
+    if width <= 0 or height <= 0:
+        raise ValueError("rectangle dimensions must be positive")
+    n = points.shape[0]
+    if weights is None:
+        w = np.ones(n)
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (n,):
+            raise ValueError("weights must align with points")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+
+    # Dual rectangles: centre q covers p iff |qx - px| <= width/2 etc.
+    x_lo = points[:, 0] - width / 2
+    x_hi = points[:, 0] + width / 2
+    y_lo = points[:, 1] - height / 2
+    y_hi = points[:, 1] + height / 2
+
+    # Compress y into elementary intervals between consecutive
+    # boundaries; slot i spans [ys[i], ys[i+1]).  Using closed
+    # rectangles, interval endpoints themselves are covered, which the
+    # slot containing the boundary value handles.
+    ys = np.unique(np.concatenate([y_lo, y_hi]))
+    slot_lo = np.searchsorted(ys, y_lo, side="left")
+    slot_hi = np.searchsorted(ys, y_hi, side="left")
+    tree = _MaxAddSegmentTree(len(ys))
+
+    # Sweep events: add at x_lo, remove just after x_hi (closed edges:
+    # process all additions at an x before removals at the same x).
+    events = []  # (x, order, idx, delta)
+    for i in range(n):
+        events.append((x_lo[i], 0, i, +1.0))
+        events.append((x_hi[i], 1, i, -1.0))
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    best = MaxRSResult(x=float(points[0, 0]), y=float(points[0, 1]), weight=0.0)
+    for x, order, i, delta in events:
+        tree.add(int(slot_lo[i]), int(slot_hi[i]), float(delta) * float(w[i]))
+        if order == 0 and tree.global_max > best.weight + 1e-12:
+            slot = tree.argmax_slot()
+            slot = min(slot, len(ys) - 1)
+            best = MaxRSResult(
+                x=float(x), y=float(ys[slot]), weight=float(tree.global_max)
+            )
+    return best
+
+
+def max_rs_brute(
+    points: np.ndarray,
+    width: float,
+    height: float,
+    weights: Sequence[float] | None = None,
+) -> float:
+    """Brute-force MaxRS weight (candidate centres at point pairs).
+
+    The optimum is attained with the rectangle's left and bottom edges
+    touching some points, so scanning all ``(x_i, y_j)`` anchor pairs
+    is exhaustive — ``O(n³)``, for tests only.
+    """
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    w = np.ones(n) if weights is None else np.asarray(weights, dtype=float)
+    best = 0.0
+    for i in range(n):
+        for j in range(n):
+            cx = points[i, 0] + width / 2
+            cy = points[j, 1] + height / 2
+            inside = (
+                (np.abs(points[:, 0] - cx) <= width / 2 + 1e-12)
+                & (np.abs(points[:, 1] - cy) <= height / 2 + 1e-12)
+            )
+            best = max(best, float(w[inside].sum()))
+    return best
+
+
+def max_rs_over_objects(
+    objects: Sequence[MovingObject],
+    width: float,
+    height: float,
+    per_object_normalised: bool = True,
+) -> MaxRSResult:
+    """MaxRS over a moving-object workload.
+
+    With ``per_object_normalised`` each position weighs ``1/n_O`` so an
+    object contributes at most 1 in total (the rough analogue of the
+    one-vote-per-object influence semantics).
+    """
+    all_points = np.concatenate([o.positions for o in objects], axis=0)
+    if per_object_normalised:
+        weights = np.concatenate(
+            [np.full(o.n_positions, 1.0 / o.n_positions) for o in objects]
+        )
+    else:
+        weights = None
+    return max_rs(all_points, width, height, weights)

@@ -1,0 +1,207 @@
+"""Command-line interface: ``prime-ls <experiment>`` or ``python -m repro``.
+
+Runs any of the paper's experiments and prints its table; ``list``
+shows what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+import repro.experiments as experiments
+
+
+def _registry() -> dict[str, tuple[str, Callable[[], object]]]:
+    """Experiment name -> (description, zero-arg runner)."""
+    return {
+        "table2": (
+            "dataset statistics vs the paper's Table 2",
+            experiments.run_table2,
+        ),
+        "precision": (
+            "Tables 3-4: P@K / AP@K of PRIME-LS vs RANGE vs BRNN*",
+            lambda: experiments.run_precision_experiment(groups=10),
+        ),
+        "fig8-f": (
+            "Fig 8: runtime vs #candidates (Foursquare-like)",
+            lambda: experiments.run_candidate_scalability("F"),
+        ),
+        "fig8-g": (
+            "Fig 8: runtime vs #candidates (Gowalla-like)",
+            lambda: experiments.run_candidate_scalability("G"),
+        ),
+        "fig9": (
+            "Fig 9: runtime vs #objects (Gowalla-like)",
+            lambda: experiments.run_object_scalability("G"),
+        ),
+        "fig10-f": (
+            "Fig 10: pruning effect vs tau (Foursquare-like)",
+            lambda: experiments.run_pruning_effect("F"),
+        ),
+        "fig10-g": (
+            "Fig 10: pruning effect vs tau (Gowalla-like)",
+            lambda: experiments.run_pruning_effect("G"),
+        ),
+        "remark": (
+            "S4.3 Remark: analytic vs measured pruning model",
+            experiments.run_pruning_model_check,
+        ),
+        "fig11a": (
+            "Fig 11a / Table 5: effect of n (natural groups)",
+            lambda: experiments.run_effect_n_groups("G"),
+        ),
+        "fig11b": (
+            "Fig 11b: effect of n (subsampled instances)",
+            lambda: experiments.run_effect_n_resampled("G"),
+        ),
+        "fig12-f": (
+            "Fig 12: effect of tau (Foursquare-like)",
+            lambda: experiments.run_effect_tau("F"),
+        ),
+        "fig12-g": (
+            "Fig 12: effect of tau (Gowalla-like)",
+            lambda: experiments.run_effect_tau("G"),
+        ),
+        "fig13": (
+            "Fig 13: <n, tau> level curve",
+            lambda: experiments.run_n_tau_levelcurve("G"),
+        ),
+        "fig14-f": (
+            "Fig 14: effect of lambda (Foursquare-like)",
+            lambda: experiments.run_effect_lambda("F"),
+        ),
+        "fig14-g": (
+            "Fig 14: effect of lambda (Gowalla-like)",
+            lambda: experiments.run_effect_lambda("G"),
+        ),
+        "fig15-f": (
+            "Fig 15: effect of rho (Foursquare-like)",
+            lambda: experiments.run_effect_rho("F"),
+        ),
+        "fig15-g": (
+            "Fig 15: effect of rho (Gowalla-like)",
+            lambda: experiments.run_effect_rho("G"),
+        ),
+        "fig16": (
+            "Fig 16: alternative probability functions",
+            lambda: experiments.run_pf_variants("F"),
+        ),
+        "sampling": (
+            "S6.2: how many trajectory samples suffice (24-48 claim)",
+            experiments.run_sampling_tradeoff,
+        ),
+        "stability": (
+            "extension: bootstrap/noise robustness of the mined location",
+            experiments.run_location_stability,
+        ),
+    }
+
+
+def _cmd_demo(out_svg: str | None) -> int:
+    """Solve the quickstart world and optionally render the scene."""
+    import numpy as np
+
+    from repro import PowerLawPF, select_location
+    from repro.datasets import tiny_demo
+
+    world = tiny_demo()
+    dataset = world.dataset
+    candidates, _ = dataset.sample_candidates(40, np.random.default_rng(0))
+    pf = PowerLawPF()
+    result = select_location(dataset.objects, candidates, pf=pf, tau=0.7)
+    best = result.best_candidate
+    print(
+        f"optimal location: candidate {best.candidate_id} at "
+        f"({best.x:.2f}, {best.y:.2f}) km, influence "
+        f"{result.best_influence}/{dataset.n_objects}"
+    )
+    print(
+        f"pruned {result.instrumentation.pruned_fraction():.0%} of pairs, "
+        f"{result.elapsed_seconds * 1000:.1f} ms"
+    )
+    if out_svg:
+        from repro.viz import render_scene
+        from repro.viz.scene import save_scene
+
+        svg = render_scene(dataset.objects[:4], candidates, pf, 0.7, best=best)
+        print(f"scene written to {save_scene(out_svg, svg)}")
+    return 0
+
+
+def _cmd_export(registry, name: str, out_csv: str) -> int:
+    from repro.experiments.export import export_result
+
+    if name not in registry:
+        print(f"unknown experiment {name!r}; run 'prime-ls list'", file=sys.stderr)
+        return 2
+    __, runner = registry[name]
+    result = runner()
+    print(result.render())
+    print(f"\nCSV written to {export_result(result, out_csv)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    registry = _registry()
+    parser = argparse.ArgumentParser(
+        prog="prime-ls",
+        description="Reproduce the PINOCCHIO paper's experiments.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="list",
+        help="experiment name, 'all', 'list' (default), or 'demo'",
+    )
+    parser.add_argument(
+        "--svg",
+        metavar="PATH",
+        help="with 'demo': also render the scene to an SVG file",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="export the experiment's sweep series to a CSV file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(name) for name in registry)
+        for name, (description, _) in registry.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    if args.experiment == "demo":
+        return _cmd_demo(args.svg)
+    if args.experiment == "report":
+        from repro.experiments.report import generate_report
+
+        path, checks = generate_report()
+        failed = [c for c in checks if not c.passed]
+        print(f"report written to {path} ({len(checks)} claims checked)")
+        for check in failed:
+            print(f"FAILED: {check.claim} — {check.measured}", file=sys.stderr)
+        return 1 if failed else 0
+    if args.experiment == "all":
+        for name, (_, runner) in registry.items():
+            print(f"=== {name} ===")
+            print(runner().render())
+            print()
+        return 0
+    if args.csv:
+        return _cmd_export(registry, args.experiment, args.csv)
+    if args.experiment not in registry:
+        print(
+            f"unknown experiment {args.experiment!r}; run 'prime-ls list'",
+            file=sys.stderr,
+        )
+        return 2
+    __, runner = registry[args.experiment]
+    print(runner().render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

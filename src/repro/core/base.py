@@ -1,0 +1,71 @@
+"""Shared scaffolding for the location-selection algorithms."""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.result import LSResult
+from repro.model.candidate import Candidate
+from repro.model.moving_object import MovingObject
+from repro.prob.base import ProbabilityFunction
+
+
+def candidates_to_array(candidates: Sequence[Candidate]) -> np.ndarray:
+    """Stack candidate coordinates into an ``(m, 2)`` array.
+
+    Rejects non-finite coordinates up front — NaNs would silently
+    poison every distance comparison downstream.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate location")
+    xy = np.array([(c.x, c.y) for c in candidates], dtype=float)
+    if not np.all(np.isfinite(xy)):
+        bad = [c.candidate_id for c, ok in
+               zip(candidates, np.isfinite(xy).all(axis=1)) if not ok]
+        raise ValueError(f"candidates with non-finite coordinates: {bad}")
+    return xy
+
+
+class LocationSelector(ABC):
+    """Base class: validates inputs, times the run, builds the result."""
+
+    #: short name used in result records and bench tables
+    name: str = "base"
+
+    def select(
+        self,
+        objects: Sequence[MovingObject],
+        candidates: Sequence[Candidate],
+        pf: ProbabilityFunction,
+        tau: float,
+    ) -> LSResult:
+        """Run the algorithm and return an :class:`LSResult`.
+
+        ``tau`` must be in ``(0, 1)``; degenerate thresholds make the
+        problem trivial (``τ = 0`` influences everything, ``τ = 1``
+        requires an exactly-certain position).
+        """
+        if not objects:
+            raise ValueError("need at least one moving object")
+        if not candidates:
+            raise ValueError("need at least one candidate location")
+        if not 0.0 < tau < 1.0:
+            raise ValueError(f"tau must be in (0, 1), got {tau}")
+        started = time.perf_counter()
+        result = self._run(list(objects), list(candidates), pf, tau)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    @abstractmethod
+    def _run(
+        self,
+        objects: list[MovingObject],
+        candidates: list[Candidate],
+        pf: ProbabilityFunction,
+        tau: float,
+    ) -> LSResult:
+        """Algorithm body; ``elapsed_seconds`` is filled in by ``select``."""

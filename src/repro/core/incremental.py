@@ -1,0 +1,173 @@
+"""Incremental PRIME-LS maintenance (the paper's §7 future work).
+
+The conclusion sketches "incremental solution towards PRIME-LS in
+dynamic scenarios, where candidate locations, objects as well as their
+positions keep on changing".  This module provides that extension:
+an index that maintains exact influence counts under object and
+candidate insertions/removals, answering the optimal-location query at
+any time without recomputing from scratch.
+
+Costs per update (``m`` candidates, ``r`` objects):
+
+* ``add_object``/``remove_object`` — one IA/NIB classification against
+  the candidate R-tree plus validation of the surviving band
+  (exactly the per-object work of Algorithm 2).
+* ``add_candidate`` — one pass over the objects, pruned per object by
+  the ``minMaxRadius`` bounds before any validation.
+* ``remove_candidate`` — O(1) bookkeeping.
+
+The influence bookkeeping stores, per object, the set of candidates it
+is influenced by, so removals are exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.influence import influence_threshold_log, validate_pair
+from repro.core.minmax_radius import MinMaxRadiusCache
+from repro.core.object_table import ObjectEntry
+from repro.core.result import Instrumentation
+from repro.index.rtree import RTree
+from repro.model.candidate import Candidate
+from repro.model.moving_object import MovingObject
+from repro.prob.base import ProbabilityFunction
+
+
+class IncrementalPrimeLS:
+    """Exact PRIME-LS influence counts under dynamic updates."""
+
+    def __init__(
+        self,
+        pf: ProbabilityFunction,
+        tau: float,
+        rtree_max_entries: int = 8,
+    ):
+        if not 0.0 < tau < 1.0:
+            raise ValueError(f"tau must be in (0, 1), got {tau}")
+        self.pf = pf
+        self.tau = tau
+        self._log_threshold = influence_threshold_log(tau)
+        self._radius_cache = MinMaxRadiusCache(pf, tau)
+        self._rtree = RTree(max_entries=rtree_max_entries)
+        self._candidates: dict[int, Candidate] = {}
+        self._influence: dict[int, int] = {}
+        self._entries: dict[int, ObjectEntry] = {}
+        self._influenced_by: dict[int, set[int]] = {}
+        self.counters = Instrumentation()
+
+    # ------------------------------------------------------------------
+    # Candidate updates
+    # ------------------------------------------------------------------
+    def add_candidate(self, candidate: Candidate) -> int:
+        """Index a candidate and compute its influence over live objects."""
+        cid = candidate.candidate_id
+        if cid in self._candidates:
+            raise KeyError(f"candidate {cid} already present")
+        self._candidates[cid] = candidate
+        self._rtree.insert(cid, candidate.x, candidate.y)
+        influence = 0
+        for oid, entry in self._entries.items():
+            if self._pair_influenced(entry, candidate.x, candidate.y):
+                influence += 1
+                self._influenced_by[oid].add(cid)
+        self._influence[cid] = influence
+        return influence
+
+    def remove_candidate(self, candidate_id: int) -> None:
+        """Drop a candidate from the bookkeeping and the R-tree."""
+        if candidate_id not in self._candidates:
+            raise KeyError(f"unknown candidate {candidate_id}")
+        candidate = self._candidates.pop(candidate_id)
+        self._rtree.delete(candidate_id, candidate.x, candidate.y)
+        del self._influence[candidate_id]
+        for influenced in self._influenced_by.values():
+            influenced.discard(candidate_id)
+
+    # ------------------------------------------------------------------
+    # Object updates
+    # ------------------------------------------------------------------
+    def add_object(self, obj: MovingObject) -> None:
+        """Register a moving object and update all candidate influences."""
+        oid = obj.object_id
+        if oid in self._entries:
+            raise KeyError(f"object {oid} already present")
+        radius = self._radius_cache.radius(obj.n_positions)
+        if radius is None:
+            # Uninfluenceable at this tau/PF: keep a tombstone so that
+            # removal stays well-defined.
+            self.counters.dead_objects += 1
+            self._entries[oid] = ObjectEntry(obj, float("nan"), obj.mbr)
+            self._influenced_by[oid] = set()
+            return
+        entry = ObjectEntry(obj, radius, obj.mbr)
+        self._entries[oid] = entry
+        influenced: set[int] = set()
+        for cid in self._rtree.query_rect(entry.nib_bbox):
+            candidate = self._candidates.get(cid)
+            if candidate is None:
+                continue  # removed candidate still in the R-tree
+            if self._pair_influenced(entry, candidate.x, candidate.y):
+                influenced.add(cid)
+                self._influence[cid] += 1
+        self._influenced_by[oid] = influenced
+
+    def remove_object(self, object_id: int) -> None:
+        """Unregister an object, rolling back its influence contributions."""
+        if object_id not in self._entries:
+            raise KeyError(f"unknown object {object_id}")
+        for cid in self._influenced_by.pop(object_id):
+            if cid in self._influence:
+                self._influence[cid] -= 1
+        del self._entries[object_id]
+
+    def update_object(self, obj: MovingObject) -> None:
+        """Replace an object's positions (remove + add)."""
+        self.remove_object(obj.object_id)
+        self.add_object(obj)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def influence_of(self, candidate_id: int) -> int:
+        """Current exact influence of a candidate."""
+        return self._influence[candidate_id]
+
+    def optimal_location(self) -> tuple[Candidate, int]:
+        """The current PRIME-LS answer: ``(candidate, influence)``."""
+        if not self._candidates:
+            raise ValueError("no candidates registered")
+        best_cid = max(
+            self._influence, key=lambda cid: (self._influence[cid], -cid)
+        )
+        return self._candidates[best_cid], self._influence[best_cid]
+
+    @property
+    def n_objects(self) -> int:
+        return len(self._entries)
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self._candidates)
+
+    # ------------------------------------------------------------------
+    def _pair_influenced(self, entry: ObjectEntry, cx: float, cy: float) -> bool:
+        """IA/NIB bounds first, exact validation only in the band."""
+        if not np.isfinite(entry.radius):
+            return False  # dead object
+        if entry.mbr.max_dist(cx, cy) <= entry.radius:
+            self.counters.pairs_pruned_ia += 1
+            return True
+        if entry.mbr.min_dist(cx, cy) > entry.radius:
+            self.counters.pairs_pruned_nib += 1
+            return False
+        return validate_pair(
+            self.pf,
+            entry.obj.positions,
+            cx,
+            cy,
+            self._log_threshold,
+            counters=self.counters,
+            kernel="vector",
+            early_stop=True,
+        )

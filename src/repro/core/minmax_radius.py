@@ -1,0 +1,66 @@
+"""The ``minMaxRadius`` measure (Definition 5).
+
+``minMaxRadius(τ, n) = PF⁻¹(1 − (1 − τ)^(1/n))`` — the radius such that
+
+* if *all* ``n`` positions of an object lie within it of a candidate,
+  the candidate certainly influences the object (Theorem 1), and
+* if *all* positions lie outside it, the candidate certainly does not
+  (Theorem 2).
+
+When the required per-position probability ``1 − (1 − τ)^(1/n)``
+exceeds ``PF(0)``, no distance achieves it: even an object whose every
+position coincides with the candidate reaches only
+``1 − (1 − PF(0))^n < τ``.  Such objects can never be influenced by
+*any* candidate; :func:`min_max_radius` returns ``None`` for them and
+the algorithms drop them up front (counted as ``dead_objects``).
+"""
+
+from __future__ import annotations
+
+from repro.prob.base import ProbabilityFunction
+
+
+def required_position_probability(tau: float, n: int) -> float:
+    """The per-position probability ``1 − (1 − τ)^(1/n)`` behind Def. 5."""
+    if not 0.0 < tau < 1.0:
+        raise ValueError(f"tau must be in (0, 1), got {tau}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1.0 - (1.0 - tau) ** (1.0 / n)
+
+
+def min_max_radius(pf: ProbabilityFunction, tau: float, n: int) -> float | None:
+    """``minMaxRadius(τ, n)`` for probability function ``pf``.
+
+    Returns ``None`` when the object is uninfluenceable (see module
+    docstring).
+    """
+    threshold = required_position_probability(tau, n)
+    if threshold > pf.max_probability:
+        return None
+    return pf.inverse(threshold)
+
+
+class MinMaxRadiusCache:
+    """Per-``n`` memo of ``minMaxRadius`` — the paper's HashMap ``HM``.
+
+    Algorithm 1 computes the radius once per distinct position count
+    ``n`` and reuses it for every object with that count.
+    """
+
+    def __init__(self, pf: ProbabilityFunction, tau: float):
+        if not 0.0 < tau < 1.0:
+            raise ValueError(f"tau must be in (0, 1), got {tau}")
+        self.pf = pf
+        self.tau = tau
+        self._memo: dict[int, float | None] = {}
+
+    def radius(self, n: int) -> float | None:
+        """``minMaxRadius(τ, n)``, memoised."""
+        if n not in self._memo:
+            self._memo[n] = min_max_radius(self.pf, self.tau, n)
+        return self._memo[n]
+
+    def __len__(self) -> int:
+        """How many distinct ``n`` values have been resolved."""
+        return len(self._memo)

@@ -1,0 +1,76 @@
+"""The moving-object 2-D array ``A2D`` (Algorithm 1).
+
+One entry per live moving object bundles the ``A1D`` position array
+with everything the pruning rules need: the activity MBR, the object's
+``minMaxRadius``, and the derived IA/NIB regions.  Objects whose
+``minMaxRadius`` is undefined (uninfluenceable at this ``τ``/``PF``)
+are excluded and counted, mirroring the paper's observation that such
+objects contribute to no candidate's influence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.minmax_radius import MinMaxRadiusCache
+from repro.geo.mbr import MBR
+from repro.geo.regions import InfluenceArcsRegion, NonInfluenceBoundary
+from repro.model.moving_object import MovingObject
+from repro.prob.base import ProbabilityFunction
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectEntry:
+    """One ``A2D`` tuple: ⟨A1D(O), IA(O), NIB(O)⟩ plus derived data."""
+
+    obj: MovingObject
+    radius: float            # minMaxRadius(τ, n)
+    mbr: MBR
+
+    @property
+    def ia(self) -> InfluenceArcsRegion:
+        """The influence-arcs region (Lemma 2)."""
+        return InfluenceArcsRegion(self.mbr, self.radius)
+
+    @property
+    def nib(self) -> NonInfluenceBoundary:
+        """The non-influence boundary region (Lemma 3)."""
+        return NonInfluenceBoundary(self.mbr, self.radius)
+
+    @property
+    def nib_bbox(self) -> MBR:
+        """MBR of the NIB region — drives the candidate R-tree query."""
+        return self.mbr.expanded(self.radius)
+
+
+class ObjectTable:
+    """``A2D``: the per-object entries plus the shared radius memo."""
+
+    def __init__(
+        self,
+        objects: Sequence[MovingObject],
+        pf: ProbabilityFunction,
+        tau: float,
+    ):
+        self.pf = pf
+        self.tau = tau
+        self.radius_cache = MinMaxRadiusCache(pf, tau)
+        self.entries: list[ObjectEntry] = []
+        self.dead_objects = 0
+        for obj in objects:
+            radius = self.radius_cache.radius(obj.n_positions)
+            if radius is None:
+                self.dead_objects += 1
+                continue
+            self.entries.append(ObjectEntry(obj, radius, obj.mbr))
+
+    @property
+    def live_count(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[ObjectEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

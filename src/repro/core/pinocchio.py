@@ -1,0 +1,141 @@
+"""PINOCCHIO — Algorithm 2 of the paper.
+
+Per object: prune candidates with the IA/NIB rules through the
+candidate R-tree, then validate the surviving band exactly.  Produces
+the full influence table (every candidate's exact influence), like NA
+but with roughly two thirds of the object-candidate pairs never
+touched (Fig 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import LocationSelector, candidates_to_array
+from repro.core.influence import (
+    batch_log_non_influence,
+    influence_threshold_log,
+    validate_pair,
+)
+from repro.core.object_table import ObjectTable
+from repro.core.pruning import classify_candidates, classify_chunks
+from repro.core.result import Instrumentation, LSResult
+from repro.index.rtree import RTree
+from repro.model.candidate import Candidate
+from repro.model.moving_object import MovingObject
+from repro.prob.base import ProbabilityFunction
+
+
+class Pinocchio(LocationSelector):
+    """Algorithm 2: IA/NIB pruning + exhaustive validation of the band."""
+
+    name = "PIN"
+
+    def __init__(
+        self,
+        kernel: str = "vector",
+        rtree_max_entries: int = 8,
+        use_rtree: bool = False,
+    ):
+        """``use_rtree=True`` reproduces the paper's candidate R-tree
+        range queries; the default classifies candidates with chunked
+        broadcast scans, which is the faster analogue in NumPy (the
+        split produced is identical — see the ablation bench)."""
+        if kernel not in ("vector", "scalar"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        self.kernel = kernel
+        self.rtree_max_entries = rtree_max_entries
+        self.use_rtree = use_rtree
+
+    def _run(
+        self,
+        objects: list[MovingObject],
+        candidates: list[Candidate],
+        pf: ProbabilityFunction,
+        tau: float,
+    ) -> LSResult:
+        counters = Instrumentation()
+        table = ObjectTable(objects, pf, tau)
+        counters.dead_objects = table.dead_objects
+        cand_xy = candidates_to_array(candidates)
+        m = cand_xy.shape[0]
+        counters.pairs_total = table.live_count * m
+        log_threshold = influence_threshold_log(tau)
+        influence = np.zeros(m, dtype=int)
+
+        if self.use_rtree:
+            rtree = RTree.bulk_load(cand_xy, max_entries=self.rtree_max_entries)
+            for entry in table:
+                outcome = classify_candidates(entry, cand_xy, rtree)
+                counters.pairs_pruned_ia += outcome.certain.size
+                counters.pairs_pruned_nib += outcome.pruned_nib
+                influence[outcome.certain] += 1
+                if outcome.maybe.size:
+                    self._validate_band(
+                        entry, outcome.maybe, cand_xy, pf,
+                        log_threshold, influence, counters,
+                    )
+        else:
+            for chunk, ia, band in classify_chunks(table.entries, cand_xy):
+                ia_count = int(np.count_nonzero(ia))
+                band_count = int(np.count_nonzero(band))
+                counters.pairs_pruned_ia += ia_count
+                counters.pairs_pruned_nib += len(chunk) * m - ia_count - band_count
+                influence += ia.sum(axis=0)
+                rows, cols = np.nonzero(band)
+                boundaries = np.searchsorted(rows, np.arange(len(chunk) + 1))
+                for i, entry in enumerate(chunk):
+                    maybe = cols[boundaries[i] : boundaries[i + 1]]
+                    if maybe.size:
+                        self._validate_band(
+                            entry, maybe, cand_xy, pf,
+                            log_threshold, influence, counters,
+                        )
+
+        influences = {j: int(influence[j]) for j in range(m)}
+        best_idx = max(influences, key=lambda idx: (influences[idx], -idx))
+        return LSResult(
+            algorithm=self.name,
+            best_candidate=candidates[best_idx],
+            best_influence=influences[best_idx],
+            influences=influences,
+            elapsed_seconds=0.0,
+            instrumentation=counters,
+        )
+
+    def _validate_band(
+        self,
+        entry,
+        maybe: np.ndarray,
+        cand_xy: np.ndarray,
+        pf: ProbabilityFunction,
+        log_threshold: float,
+        influence: np.ndarray,
+        counters: Instrumentation,
+    ) -> None:
+        """Exact validation of one object's surviving candidate band."""
+        if self.kernel == "vector":
+            # One matrix kernel resolves the whole band of this object.
+            logs = batch_log_non_influence(
+                pf, entry.obj.positions, cand_xy[maybe]
+            )
+            influenced = logs <= log_threshold
+            influence[maybe[influenced]] += 1
+            counters.pairs_validated += maybe.size
+            n = entry.obj.n_positions
+            counters.positions_total += n * maybe.size
+            counters.positions_evaluated += n * maybe.size
+        else:
+            for j in maybe:
+                influenced = validate_pair(
+                    pf,
+                    entry.obj.positions,
+                    cand_xy[j, 0],
+                    cand_xy[j, 1],
+                    log_threshold,
+                    counters=counters,
+                    kernel="scalar",
+                    early_stop=False,
+                )
+                if influenced:
+                    influence[j] += 1

@@ -1,0 +1,110 @@
+"""Results and instrumentation shared by every algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.candidate import Candidate
+
+
+@dataclass
+class Instrumentation:
+    """Work counters, independent of Python/NumPy execution speed.
+
+    These make the pruning claims of the paper checkable without
+    trusting wall-clock numbers: ``pairs_pruned_ia`` and
+    ``pairs_pruned_nib`` quantify Fig 10; ``positions_evaluated``
+    versus ``positions_total`` quantifies Strategy 2 (the "67 percent
+    unnecessary position validation" claim).
+    """
+
+    #: object-candidate pairs considered in total (live objects × candidates)
+    pairs_total: int = 0
+    #: pairs resolved by the influence-arcs rule (certainly influenced)
+    pairs_pruned_ia: int = 0
+    #: pairs resolved by the non-influence boundary (certainly not)
+    pairs_pruned_nib: int = 0
+    #: pairs that entered exact validation
+    pairs_validated: int = 0
+    #: objects discarded up front because minMaxRadius is undefined
+    dead_objects: int = 0
+    #: positions a full validation of all validated pairs would touch
+    positions_total: int = 0
+    #: positions actually evaluated (Strategy 2 stops early)
+    positions_evaluated: int = 0
+    #: validations ended early by Lemma 4
+    early_stops: int = 0
+    #: validations ended early by the fail-fast bound (extension)
+    fail_fast_stops: int = 0
+    #: candidates whose validation ran to completion (PIN-VO)
+    candidates_fully_validated: int = 0
+    #: candidates never popped, or abandoned mid-validation (Strategy 1)
+    candidates_skipped_strategy1: int = 0
+    #: heap pops performed by PIN-VO
+    heap_pops: int = 0
+
+    def pruned_fraction(self) -> float:
+        """Fraction of object-candidate pairs resolved without validation."""
+        if self.pairs_total == 0:
+            return 0.0
+        return (self.pairs_pruned_ia + self.pairs_pruned_nib) / self.pairs_total
+
+    def position_savings(self) -> float:
+        """Fraction of validation positions skipped by early stopping."""
+        if self.positions_total == 0:
+            return 0.0
+        return 1.0 - self.positions_evaluated / self.positions_total
+
+
+@dataclass
+class LSResult:
+    """The outcome of one location-selection run.
+
+    ``influences`` maps candidate index (position in the input list) to
+    the exact influence value, for algorithms that compute the full
+    table (NA, PIN).  PIN-VO terminates as soon as the winner is
+    certified, so it reports exact influence only for candidates it
+    fully validated (others are absent).
+    """
+
+    algorithm: str
+    best_candidate: Candidate
+    best_influence: int
+    influences: dict[int, int]
+    elapsed_seconds: float
+    instrumentation: Instrumentation = field(default_factory=Instrumentation)
+
+    def ranking(self) -> list[tuple[int, int]]:
+        """Candidate indexes sorted by influence (descending), ties by index."""
+        return sorted(self.influences.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def top_k(self, k: int) -> list[int]:
+        """Indexes of the ``k`` most influential candidates."""
+        return [idx for idx, _ in self.ranking()[:k]]
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable summary of the run."""
+        from dataclasses import asdict
+
+        return {
+            "algorithm": self.algorithm,
+            "best_candidate": {
+                "candidate_id": self.best_candidate.candidate_id,
+                "x": self.best_candidate.x,
+                "y": self.best_candidate.y,
+                "label": self.best_candidate.label,
+            },
+            "best_influence": self.best_influence,
+            "influences": {str(k): v for k, v in self.influences.items()},
+            "elapsed_seconds": self.elapsed_seconds,
+            "instrumentation": asdict(self.instrumentation),
+        }
+
+    def save_json(self, path) -> None:
+        """Write :meth:`to_dict` to ``path`` as indented JSON."""
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")

@@ -1,0 +1,33 @@
+"""Synthetic LBS check-in data (the paper's Foursquare/Gowalla stand-in).
+
+The paper evaluates on two proprietary-ish check-in dumps (Table 2).
+This package generates statistically matched substitutes:
+
+* a hotspot-mixture *city model* producing the skewed geographic venue
+  distribution of Fig 6,
+* a heavy-tailed per-user check-in count sampler matched to Table 2's
+  avg/min/max,
+* a distance-decay *gravity model* (the same mechanism as the paper's
+  power-law ``PF``, after Liu et al. [21]) assigning each check-in to a
+  venue given the user's anchor points — which simultaneously yields
+  the ground-truth per-venue visit counts used by the effectiveness
+  experiments (Tables 3-4).
+
+Everything is deterministic given a seed.
+"""
+
+from repro.datasets.city import CityModel, Hotspot
+from repro.datasets.counts import sample_checkin_counts
+from repro.datasets.generator import SyntheticConfig, generate_checkin_dataset
+from repro.datasets.presets import foursquare_like, gowalla_like, tiny_demo
+
+__all__ = [
+    "CityModel",
+    "Hotspot",
+    "sample_checkin_counts",
+    "SyntheticConfig",
+    "generate_checkin_dataset",
+    "foursquare_like",
+    "gowalla_like",
+    "tiny_demo",
+]

@@ -1,0 +1,107 @@
+"""Dataset presets mirroring the paper's Table 2.
+
+``scale`` shrinks user/venue counts proportionally (check-in counts per
+user are kept, so the *shape* of the workload survives) — the paper's
+C++ implementation handles the full datasets; a pure-Python
+reproduction uses ``scale < 1`` for the timing experiments and records
+the scale in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.generator import (
+    SyntheticConfig,
+    SyntheticWorld,
+    generate_checkin_dataset,
+)
+
+#: Full-size Table 2 statistics, for reference and for the Table 2 bench.
+FOURSQUARE_TABLE2 = {
+    "user count": 2_321,
+    "venue count": 5_594,
+    "check-ins": 167_231,
+    "avg. check-ins": 72,
+    "min check-ins": 3,
+    "max check-ins": 661,
+}
+
+GOWALLA_TABLE2 = {
+    "user count": 10_162,
+    "venue count": 24_081,
+    "check-ins": 381_165,
+    "avg. check-ins": 37,
+    "min check-ins": 2,
+    "max check-ins": 780,
+}
+
+
+def foursquare_like(scale: float = 1.0, seed: int = 42) -> SyntheticWorld:
+    """A Foursquare/Singapore-like world (Table 2, column F).
+
+    Dense city, fewer users with many check-ins each.
+    """
+    if not 0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    config = SyntheticConfig(
+        name=f"foursquare-like(x{scale:g})",
+        n_users=max(10, round(2_321 * scale)),
+        n_venues=max(20, round(5_594 * scale)),
+        width_km=39.22,
+        height_km=27.03,
+        n_hotspots=8,
+        avg_checkins=72.0,
+        min_checkins=3,
+        max_checkins=661,
+        count_sigma=1.05,
+        anchors_per_user=(2, 4),
+        gravity_gamma=1.0,
+        seed=seed,
+    )
+    return generate_checkin_dataset(config)
+
+
+def gowalla_like(scale: float = 1.0, seed: int = 43) -> SyntheticWorld:
+    """A Gowalla/California-like world (Table 2, column G).
+
+    More users and venues, fewer check-ins per user, wider extent.
+    """
+    if not 0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    config = SyntheticConfig(
+        name=f"gowalla-like(x{scale:g})",
+        n_users=max(10, round(10_162 * scale)),
+        n_venues=max(20, round(24_081 * scale)),
+        # "mainly in California": hundreds of km between metro areas,
+        # while each user's activity stays local (anchor_spread_km).
+        # Calibrated so NIB pruning dominates IA pruning, matching the
+        # paper's Fig 10b, with ~2/3 of pairs pruned overall.
+        width_km=800.0,
+        height_km=600.0,
+        n_hotspots=12,
+        avg_checkins=37.0,
+        min_checkins=2,
+        max_checkins=780,
+        count_sigma=1.1,
+        anchors_per_user=(2, 3),
+        anchor_spread_km=8.0,
+        gravity_gamma=1.5,
+        seed=seed,
+    )
+    return generate_checkin_dataset(config)
+
+
+def tiny_demo(seed: int = 7) -> SyntheticWorld:
+    """A small, fast world for the quickstart example and smoke tests."""
+    config = SyntheticConfig(
+        name="tiny-demo",
+        n_users=60,
+        n_venues=150,
+        width_km=12.0,
+        height_km=9.0,
+        n_hotspots=4,
+        avg_checkins=25.0,
+        min_checkins=3,
+        max_checkins=120,
+        seed=seed,
+    )
+    return generate_checkin_dataset(config)

@@ -1,0 +1,22 @@
+"""Effectiveness evaluation: P@K / AP@K against check-in ground truth.
+
+§6.2 of the paper scores each LS semantics by how well its top-K
+recommended candidates match the top-K candidates by *actual* check-in
+count (Tables 3-4).
+"""
+
+from repro.eval.metrics import average_precision_at_k, precision_at_k
+from repro.eval.ground_truth import relevant_top_k
+from repro.eval.harness import ExperimentTimer, mean_and_std, run_repeated
+from repro.eval.significance import BootstrapComparison, paired_bootstrap
+
+__all__ = [
+    "BootstrapComparison",
+    "paired_bootstrap",
+    "precision_at_k",
+    "average_precision_at_k",
+    "relevant_top_k",
+    "ExperimentTimer",
+    "mean_and_std",
+    "run_repeated",
+]

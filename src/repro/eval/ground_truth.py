@@ -1,0 +1,20 @@
+"""Ground-truth candidate ranking from actual check-in counts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relevant_top_k(venue_checkins: np.ndarray, venue_indexes: np.ndarray, k: int) -> list[int]:
+    """Candidate positions of the top-``k`` candidates by true visits.
+
+    ``venue_indexes[i]`` is the venue each candidate ``i`` was sampled
+    from; the returned list contains candidate positions ``i`` ranked
+    by ``venue_checkins[venue_indexes[i]]`` descending (ties broken by
+    candidate position for determinism).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    counts = venue_checkins[venue_indexes]
+    order = np.lexsort((np.arange(len(counts)), -counts))
+    return [int(i) for i in order[:k]]

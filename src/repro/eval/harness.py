@@ -1,0 +1,50 @@
+"""Small experiment-runner utilities shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Iterable, TypeVar
+
+T = TypeVar("T")
+
+
+class ExperimentTimer:
+    """Context manager timing a block in seconds.
+
+    ::
+
+        with ExperimentTimer() as t:
+            run()
+        print(t.elapsed)
+    """
+
+    def __enter__(self) -> "ExperimentTimer":
+        self._start = time.perf_counter()
+        self.elapsed = math.nan
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def mean_and_std(values: Iterable[float]) -> tuple[float, float]:
+    """Sample mean and (population) standard deviation."""
+    data = list(values)
+    if not data:
+        raise ValueError("mean of empty sequence")
+    mean = sum(data) / len(data)
+    var = sum((v - mean) ** 2 for v in data) / len(data)
+    return mean, math.sqrt(var)
+
+
+def run_repeated(fn: Callable[[int], T], repeats: int) -> list[T]:
+    """Call ``fn(round_index)`` ``repeats`` times and collect results.
+
+    The paper averages effectiveness metrics over 50 random candidate
+    groups (§6.2); drivers use smaller repeat counts recorded in
+    EXPERIMENTS.md.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    return [fn(i) for i in range(repeats)]

@@ -1,0 +1,40 @@
+"""Ranking metrics: Precision@K and AveragePrecision@K.
+
+Footnote 6 of the paper: with K used for both the relevant and the
+recommended sets, Recall@K equals Precision@K, so only P@K and AP@K
+are reported.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def precision_at_k(recommended: Sequence[int], relevant: Sequence[int], k: int) -> float:
+    """``|top-k(recommended) ∩ relevant| / k``."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    relevant_set = set(relevant)
+    hits = sum(1 for item in recommended[:k] if item in relevant_set)
+    return hits / k
+
+
+def average_precision_at_k(
+    recommended: Sequence[int], relevant: Sequence[int], k: int
+) -> float:
+    """AP@K: mean of P@i over the ranks ``i ≤ k`` that hit, divided by k.
+
+    The normaliser is ``k`` (not the number of hits), matching the
+    paper's use of AP@K as a stricter, order-sensitive companion of
+    P@K whose values grow with K (Table 4).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    relevant_set = set(relevant)
+    hits = 0
+    score = 0.0
+    for i, item in enumerate(recommended[:k], start=1):
+        if item in relevant_set:
+            hits += 1
+            score += hits / i
+    return score / k

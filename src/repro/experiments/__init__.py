@@ -1,0 +1,55 @@
+"""Experiment drivers — one module per table/figure of the paper's §6.
+
+Each driver exposes a ``run_*`` function returning a structured result
+object with a ``render()`` method producing the paper-style text table.
+The benchmarks in ``benchmarks/`` and the CLI both call these drivers;
+scale parameters default to laptop-friendly sizes and are recorded in
+EXPERIMENTS.md.
+"""
+
+from repro.experiments.tables import TextTable
+from repro.experiments.precision import run_precision_experiment
+from repro.experiments.scalability import (
+    run_candidate_scalability,
+    run_object_scalability,
+)
+from repro.experiments.pruning_effect import (
+    run_pruning_effect,
+    run_pruning_model_check,
+)
+from repro.experiments.effect_n import run_effect_n_groups, run_effect_n_resampled
+from repro.experiments.effect_tau import run_effect_tau
+from repro.experiments.n_tau import run_n_tau_levelcurve
+from repro.experiments.effect_lambda import run_effect_lambda
+from repro.experiments.effect_rho import run_effect_rho
+from repro.experiments.pf_variants import run_pf_variants
+from repro.experiments.sampling import run_sampling_tradeoff
+from repro.experiments.table2 import run_table2
+from repro.experiments.export import export_result, result_rows
+from repro.experiments.ascii_chart import bar_chart, sparkline
+from repro.experiments.stability import run_location_stability
+from repro.experiments.report import generate_report
+
+__all__ = [
+    "run_location_stability",
+    "generate_report",
+    "run_sampling_tradeoff",
+    "export_result",
+    "result_rows",
+    "bar_chart",
+    "sparkline",
+    "TextTable",
+    "run_table2",
+    "run_precision_experiment",
+    "run_candidate_scalability",
+    "run_object_scalability",
+    "run_pruning_effect",
+    "run_pruning_model_check",
+    "run_effect_n_groups",
+    "run_effect_n_resampled",
+    "run_effect_tau",
+    "run_n_tau_levelcurve",
+    "run_effect_lambda",
+    "run_effect_rho",
+    "run_pf_variants",
+]

@@ -1,0 +1,65 @@
+"""Tiny ASCII bar charts for CLI experiment output.
+
+The paper communicates most results as bar/line figures; in a terminal
+a labelled bar row per sweep point conveys the same shape without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+    value_fmt: str = "{:.3f}",
+) -> str:
+    """Render horizontal bars scaled to the maximum value.
+
+    ::
+
+        >>> print(bar_chart(["a", "b"], [1.0, 0.5], width=4))
+        a  ████  1.000
+        b  ██    0.500
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels for {len(values)} values"
+        )
+    if not values:
+        raise ValueError("nothing to chart")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if any(v < 0 for v in values):
+        raise ValueError("bar_chart handles non-negative values only")
+    peak = max(values) or 1.0
+    texts = [str(label) for label in labels]
+    label_width = max(len(t) for t in texts)
+    lines = []
+    if title:
+        lines.append(title)
+    for text, value in zip(texts, values):
+        bar = "█" * max(0, round(value / peak * width))
+        lines.append(
+            f"{text.ljust(label_width)}  {bar.ljust(width)}  "
+            + value_fmt.format(value)
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend: ``▁▂▃▄▅▆▇█`` buckets over the value range."""
+    if not values:
+        raise ValueError("nothing to chart")
+    blocks = "▁▂▃▄▅▆▇█"
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span == 0:
+        return blocks[0] * len(values)
+    return "".join(
+        blocks[min(7, int((v - lo) / span * 8))] for v in values
+    )

@@ -1,0 +1,69 @@
+"""Fig 15: effect of the behaviour factor ρ.
+
+The paper sweeps ρ ∈ {0.5, 0.7, 0.9}: higher ρ (stronger influence at
+every distance) raises the maximum influence; runtime effects mirror
+Fig 14's λ sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.naive import NaiveAlgorithm
+from repro.core.pinocchio_vo import PinocchioVO
+from repro.experiments.datasets import timing_world
+from repro.experiments.tables import TextTable
+from repro.prob import PowerLawPF
+
+
+@dataclass
+class EffectRhoResult:
+    dataset: str
+    rhos: list[float]
+    na_seconds: list[float] = field(default_factory=list)
+    vo_seconds: list[float] = field(default_factory=list)
+    max_influence: list[int] = field(default_factory=list)
+    n_objects: int = 0
+
+    def render(self) -> str:
+        """The Fig 15-style text table."""
+        table = TextTable(
+            ["rho", "NA (s)", "PIN-VO (s)", "max influence", "influence %"]
+        )
+        for i, rho in enumerate(self.rhos):
+            table.add_row(
+                [
+                    rho,
+                    self.na_seconds[i],
+                    self.vo_seconds[i],
+                    self.max_influence[i],
+                    self.max_influence[i] / self.n_objects,
+                ]
+            )
+        return table.render(title=f"Fig 15: effect of rho on {self.dataset}")
+
+
+def run_effect_rho(
+    dataset: str = "F",
+    rhos: tuple[float, ...] = (0.5, 0.7, 0.9),
+    lam: float = 1.0,
+    tau: float = 0.7,
+    n_candidates: int = 600,
+    seed: int = 7,
+) -> EffectRhoResult:
+    """Sweep the behaviour factor and record runtime + max influence."""
+    world = timing_world(dataset)
+    ds = world.dataset
+    rng = np.random.default_rng(seed)
+    cands, _ = ds.sample_candidates(min(n_candidates, ds.n_venues), rng)
+    result = EffectRhoResult(dataset=ds.name, rhos=list(rhos), n_objects=ds.n_objects)
+    for rho in rhos:
+        pf = PowerLawPF(rho=rho, lam=lam)
+        na = NaiveAlgorithm().select(ds.objects, cands, pf, tau)
+        vo = PinocchioVO().select(ds.objects, cands, pf, tau)
+        result.na_seconds.append(na.elapsed_seconds)
+        result.vo_seconds.append(vo.elapsed_seconds)
+        result.max_influence.append(vo.best_influence)
+    return result

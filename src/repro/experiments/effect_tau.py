@@ -1,0 +1,67 @@
+"""Fig 12: effect of the probability threshold τ.
+
+Runtime of PIN-VO (vs NA) and the maximum influence as τ sweeps
+0.1..0.9.  Paper shape: PIN-VO's time falls then rises with τ, and the
+maximum influence decreases monotonically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.naive import NaiveAlgorithm
+from repro.core.pinocchio_vo import PinocchioVO
+from repro.experiments.datasets import timing_world
+from repro.experiments.tables import TextTable
+from repro.prob import PowerLawPF
+
+
+@dataclass
+class EffectTauResult:
+    dataset: str
+    taus: list[float]
+    na_seconds: list[float] = field(default_factory=list)
+    vo_seconds: list[float] = field(default_factory=list)
+    max_influence: list[int] = field(default_factory=list)
+    n_objects: int = 0
+
+    def render(self) -> str:
+        """The Fig 12-style text table."""
+        table = TextTable(
+            ["tau", "NA (s)", "PIN-VO (s)", "max influence", "influence %"]
+        )
+        for i, tau in enumerate(self.taus):
+            table.add_row(
+                [
+                    tau,
+                    self.na_seconds[i],
+                    self.vo_seconds[i],
+                    self.max_influence[i],
+                    self.max_influence[i] / self.n_objects,
+                ]
+            )
+        return table.render(title=f"Fig 12: effect of tau on {self.dataset}")
+
+
+def run_effect_tau(
+    dataset: str = "F",
+    taus: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    n_candidates: int = 600,
+    seed: int = 7,
+) -> EffectTauResult:
+    """Sweep the threshold and record runtime + max influence."""
+    world = timing_world(dataset)
+    ds = world.dataset
+    pf = PowerLawPF()
+    rng = np.random.default_rng(seed)
+    cands, _ = ds.sample_candidates(min(n_candidates, ds.n_venues), rng)
+    result = EffectTauResult(dataset=ds.name, taus=list(taus), n_objects=ds.n_objects)
+    for tau in taus:
+        na = NaiveAlgorithm().select(ds.objects, cands, pf, tau)
+        vo = PinocchioVO().select(ds.objects, cands, pf, tau)
+        result.na_seconds.append(na.elapsed_seconds)
+        result.vo_seconds.append(vo.elapsed_seconds)
+        result.max_influence.append(vo.best_influence)
+    return result

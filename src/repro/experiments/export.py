@@ -1,0 +1,60 @@
+"""CSV export for experiment results.
+
+Every driver's result dataclass can be flattened to rows for external
+plotting; ``export_result`` writes any of them by introspecting list
+fields of equal length (the sweep axes and measured series).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+
+
+def result_rows(result) -> tuple[list[str], list[list]]:
+    """Flatten a driver result dataclass into ``(header, rows)``.
+
+    All dataclass fields that are lists of equal (maximal) length are
+    treated as columns; scalar fields are repeated per row.  Fields
+    holding nested structures (tuples, dicts) are skipped.
+    """
+    if not dataclasses.is_dataclass(result):
+        raise TypeError(f"{result!r} is not a dataclass result")
+    fields = dataclasses.asdict(result)
+    list_fields = {
+        name: value
+        for name, value in fields.items()
+        if isinstance(value, list)
+        and value
+        and all(isinstance(v, (int, float, str)) for v in value)
+    }
+    if not list_fields:
+        raise ValueError("result has no exportable series")
+    length = max(len(v) for v in list_fields.values())
+    columns = {
+        name: value for name, value in list_fields.items() if len(value) == length
+    }
+    scalars = {
+        name: value
+        for name, value in fields.items()
+        if isinstance(value, (int, float, str))
+    }
+    header = list(scalars) + list(columns)
+    rows = [
+        [scalars[s] for s in scalars] + [columns[c][i] for c in columns]
+        for i in range(length)
+    ]
+    return header, rows
+
+
+def export_result(result, path: str | Path) -> Path:
+    """Write a driver result to ``path`` as CSV and return the path."""
+    header, rows = result_rows(result)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path

@@ -1,0 +1,162 @@
+"""Fig 13: the ⟨n, τ⟩ level curve of constant maximum influence.
+
+The paper fixes a reference point (n = 20, τ = 0.7), measures its
+maximum influence, then for other position counts tunes τ until the
+maximum influence matches — producing a level curve of ⟨n, τ⟩ pairs.
+Findings to reproduce: (i) the tuned optima are (nearly) the same
+location — the result is insensitive to how n and τ trade off, and
+(ii) a polynomial fit through half the pairs predicts the other half's
+τ within ~1-2%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pinocchio_vo import PinocchioVO
+from repro.experiments.datasets import timing_world
+from repro.experiments.effect_n import subsampled_instances
+from repro.experiments.tables import TextTable
+from repro.prob import PowerLawPF
+
+
+@dataclass
+class NTauResult:
+    reference_n: int
+    reference_tau: float
+    reference_influence: int
+    ns: list[int]
+    taus: list[float] = field(default_factory=list)
+    influences: list[int] = field(default_factory=list)
+    best_locations: list[tuple[float, float]] = field(default_factory=list)
+    fit_coefficients: list[float] = field(default_factory=list)
+    fit_check_ns: list[int] = field(default_factory=list)
+    fit_check_errors: list[float] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The Fig 13-style level-curve table with fit errors."""
+        table = TextTable(["n", "tuned tau", "max influence"])
+        for i, n in enumerate(self.ns):
+            table.add_row([n, self.taus[i], self.influences[i]])
+        lines = [
+            table.render(
+                title=(
+                    "Fig 13: <n, tau> level curve "
+                    f"(reference n={self.reference_n}, tau={self.reference_tau}, "
+                    f"influence={self.reference_influence})"
+                )
+            )
+        ]
+        dists = self.location_distances()
+        if dists:
+            lines.append(
+                f"avg distance between tuned optima: {np.mean(dists):.2f} km "
+                f"(max {np.max(dists):.2f} km)"
+            )
+        if self.fit_check_ns:
+            errs = ", ".join(
+                f"n={n}: {e:.3f}"
+                for n, e in zip(self.fit_check_ns, self.fit_check_errors)
+            )
+            lines.append(f"polyfit |tau_pred − tau_true| on held-out n: {errs}")
+        return "\n".join(lines)
+
+    def location_distances(self) -> list[float]:
+        """Pairwise distances between the tuned optima."""
+        out = []
+        pts = self.best_locations
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts)):
+                out.append(
+                    float(np.hypot(pts[i][0] - pts[j][0], pts[i][1] - pts[j][1]))
+                )
+        return out
+
+
+def find_tau_for_influence(
+    objects,
+    candidates,
+    pf,
+    target_influence: int,
+    tolerance: int = 0,
+    lo: float = 0.02,
+    hi: float = 0.98,
+    max_iters: int = 24,
+) -> tuple[float, int]:
+    """Binary-search τ so PIN-VO's maximum influence hits the target.
+
+    Maximum influence is non-increasing in τ; returns the τ whose
+    influence is closest to ``target_influence`` among the probes.
+    """
+    best_tau, best_inf = None, None
+    for _ in range(max_iters):
+        mid = (lo + hi) / 2.0
+        inf = PinocchioVO().select(objects, candidates, pf, mid).best_influence
+        if best_inf is None or abs(inf - target_influence) < abs(
+            best_inf - target_influence
+        ):
+            best_tau, best_inf = mid, inf
+        if abs(inf - target_influence) <= tolerance:
+            break
+        if inf > target_influence:
+            lo = mid
+        else:
+            hi = mid
+    return best_tau, best_inf
+
+
+def run_n_tau_levelcurve(
+    dataset: str = "G",
+    curve_ns: tuple[int, ...] = (10, 20, 30, 40, 50),
+    check_ns: tuple[int, ...] = (15, 25, 35, 45),
+    reference_n: int = 20,
+    reference_tau: float = 0.7,
+    min_positions: int = 50,
+    n_candidates: int = 600,
+    fit_degree: int = 3,
+    seed: int = 7,
+) -> NTauResult:
+    """Build the level curve, then check the polynomial fit on held-out n."""
+    world = timing_world(dataset)
+    ds = world.dataset
+    pf = PowerLawPF()
+    rng = np.random.default_rng(seed)
+    cands, _ = ds.sample_candidates(min(n_candidates, ds.n_venues), rng)
+    eligible = [o for o in ds.objects if o.n_positions >= min_positions]
+
+    def instances(k: int):
+        return subsampled_instances(eligible, k, seed * 977 + k)
+
+    ref = PinocchioVO().select(instances(reference_n), cands, pf, reference_tau)
+    result = NTauResult(
+        reference_n=reference_n,
+        reference_tau=reference_tau,
+        reference_influence=ref.best_influence,
+        ns=list(curve_ns),
+    )
+    for n in curve_ns:
+        if n == reference_n:
+            tau, inf = reference_tau, ref.best_influence
+            best = ref.best_candidate
+        else:
+            tau, inf = find_tau_for_influence(
+                instances(n), cands, pf, ref.best_influence
+            )
+            best = PinocchioVO().select(instances(n), cands, pf, tau).best_candidate
+        result.taus.append(tau)
+        result.influences.append(inf)
+        result.best_locations.append((best.x, best.y))
+
+    # Fit tau(n) through the curve points, then predict the held-out n.
+    coeffs = np.polyfit(result.ns, result.taus, deg=fit_degree)
+    result.fit_coefficients = [float(c) for c in coeffs]
+    for n in check_ns:
+        true_tau, _ = find_tau_for_influence(
+            instances(n), cands, pf, ref.best_influence
+        )
+        predicted = float(np.polyval(coeffs, n))
+        result.fit_check_ns.append(n)
+        result.fit_check_errors.append(abs(predicted - true_tau))
+    return result

@@ -1,0 +1,124 @@
+"""Figs 8-9: scalability in #candidates and #objects.
+
+Fig 8 sweeps the candidate count (paper: 200..1000) on both datasets;
+Fig 9 sweeps the object count (paper: 2k..10k from Gowalla, 600
+candidates).  Both compare NA, PIN, PIN-VO and PIN-VO*.
+
+Alongside wall time we record ``positions_evaluated`` — a
+machine-independent work counter — because pure-Python/NumPy constant
+factors compress wall-time ratios relative to the paper's C++.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import ALGORITHMS
+from repro.experiments.datasets import timing_world
+from repro.experiments.tables import TextTable
+from repro.prob import PowerLawPF
+
+SWEEP_ALGORITHMS = ("NA", "PIN", "PIN-VO", "PIN-VO*")
+
+
+@dataclass
+class ScalabilityResult:
+    """Per (sweep value, algorithm): wall seconds and work counters."""
+
+    sweep_name: str
+    dataset: str
+    values: list[int]
+    seconds: dict[str, list[float]] = field(default_factory=dict)
+    positions: dict[str, list[int]] = field(default_factory=dict)
+    best_influence: list[int] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The Fig 8/9-style table plus time-trend sparklines."""
+        table = TextTable(
+            [self.sweep_name]
+            + [f"{a} (s)" for a in SWEEP_ALGORITHMS]
+            + [f"{a} (Mpos)" for a in SWEEP_ALGORITHMS]
+        )
+        for i, v in enumerate(self.values):
+            table.add_row(
+                [v]
+                + [self.seconds[a][i] for a in SWEEP_ALGORITHMS]
+                + [self.positions[a][i] / 1e6 for a in SWEEP_ALGORITHMS]
+            )
+        lines = [
+            table.render(
+                title=f"Scalability on {self.dataset} (sweep: {self.sweep_name})"
+            )
+        ]
+        from repro.experiments.ascii_chart import sparkline
+
+        for algo in SWEEP_ALGORITHMS:
+            lines.append(f"{algo:8s} time trend: {sparkline(self.seconds[algo])}")
+        return "\n".join(lines)
+
+
+def run_candidate_scalability(
+    dataset: str = "F",
+    candidate_counts: tuple[int, ...] = (200, 400, 600, 800, 1000),
+    tau: float = 0.7,
+    seed: int = 7,
+) -> ScalabilityResult:
+    """Fig 8: runtime vs number of candidates."""
+    world = timing_world(dataset)
+    ds = world.dataset
+    pf = PowerLawPF()
+    rng = np.random.default_rng(seed)
+    max_count = min(max(candidate_counts), ds.n_venues)
+    all_cands, _ = ds.sample_candidates(max_count, rng)
+    result = ScalabilityResult(
+        sweep_name="#candidates",
+        dataset=ds.name,
+        values=[min(c, max_count) for c in candidate_counts],
+        seconds={a: [] for a in SWEEP_ALGORITHMS},
+        positions={a: [] for a in SWEEP_ALGORITHMS},
+    )
+    for count in result.values:
+        cands = all_cands[:count]
+        best = None
+        for name in SWEEP_ALGORITHMS:
+            r = ALGORITHMS[name]().select(ds.objects, cands, pf, tau)
+            result.seconds[name].append(r.elapsed_seconds)
+            result.positions[name].append(r.instrumentation.positions_evaluated)
+            best = r.best_influence
+        result.best_influence.append(best)
+    return result
+
+
+def run_object_scalability(
+    dataset: str = "G",
+    object_counts: tuple[int, ...] = (200, 400, 600, 800, 1000),
+    n_candidates: int = 600,
+    tau: float = 0.7,
+    seed: int = 7,
+) -> ScalabilityResult:
+    """Fig 9: runtime vs number of objects (paper: 2k..10k at 10x scale)."""
+    world = timing_world(dataset)
+    ds = world.dataset
+    pf = PowerLawPF()
+    rng = np.random.default_rng(seed)
+    cands, _ = ds.sample_candidates(min(n_candidates, ds.n_venues), rng)
+    counts = [min(c, ds.n_objects) for c in object_counts]
+    result = ScalabilityResult(
+        sweep_name="#objects",
+        dataset=ds.name,
+        values=counts,
+        seconds={a: [] for a in SWEEP_ALGORITHMS},
+        positions={a: [] for a in SWEEP_ALGORITHMS},
+    )
+    for count in counts:
+        objects = ds.subset_objects(count, np.random.default_rng(seed + count))
+        best = None
+        for name in SWEEP_ALGORITHMS:
+            r = ALGORITHMS[name]().select(objects, cands, pf, tau)
+            result.seconds[name].append(r.elapsed_seconds)
+            result.positions[name].append(r.instrumentation.positions_evaluated)
+            best = r.best_influence
+        result.best_influence.append(best)
+    return result

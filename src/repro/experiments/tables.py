@@ -1,0 +1,50 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class TextTable:
+    """A minimal aligned text table.
+
+    ::
+
+        t = TextTable(["K", "Prime-ls", "brnn*"])
+        t.add_row([10, 0.072, 0.046])
+        print(t.render(title="Table 3: Precision"))
+    """
+
+    def __init__(self, headers: Sequence[str]):
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Sequence[object], float_fmt: str = "{:.3f}") -> None:
+        """Append a row; floats are formatted with ``float_fmt``."""
+        formatted = []
+        for cell in cells:
+            if isinstance(cell, float):
+                formatted.append(float_fmt.format(cell))
+            else:
+                formatted.append(str(cell))
+        if len(formatted) != len(self.headers):
+            raise ValueError(
+                f"row has {len(formatted)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(formatted)
+
+    def render(self, title: str | None = None) -> str:
+        """The aligned text table, optionally under a title line."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if title:
+            lines.append(title)
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Planar and spherical geometry substrate.
+
+The paper reasons about moving objects through their minimum bounding
+rectangles (MBRs) and two derived regions per object:
+
+* the *influence arcs* (IA) region — candidates inside it certainly
+  influence the object (Lemma 2), and
+* the *non-influence boundary* (NIB) region — candidates outside it
+  certainly do not (Lemma 3).
+
+Everything here operates on planar coordinates in kilometres.  Raw
+longitude/latitude data is projected once with
+:func:`repro.geo.distance.project_lonlat` (equirectangular, accurate at
+city scale) so that the pruning geometry is exactly Euclidean, matching
+the paper's Cartesian constructions while its distances remain
+"geographic spherical distance" to within the projection error.
+"""
+
+from repro.geo.point import Point
+from repro.geo.distance import (
+    euclidean,
+    euclidean_many,
+    haversine,
+    haversine_many,
+    project_lonlat,
+    unproject_xy,
+)
+from repro.geo.mbr import MBR
+from repro.geo.regions import InfluenceArcsRegion, NonInfluenceBoundary
+
+__all__ = [
+    "Point",
+    "MBR",
+    "InfluenceArcsRegion",
+    "NonInfluenceBoundary",
+    "euclidean",
+    "euclidean_many",
+    "haversine",
+    "haversine_many",
+    "project_lonlat",
+    "unproject_xy",
+]

@@ -1,0 +1,36 @@
+"""A position of a moving object or a candidate location.
+
+The paper (§3.1) defines a *position* as a point in two-dimensional
+Euclidean space.  We keep the class deliberately small: an immutable
+``(x, y)`` pair in kilometres with the handful of helpers the rest of
+the library needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable planar point with coordinates in kilometres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in kilometres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The ``(x, y)`` pair, e.g. for NumPy construction."""
+        return (self.x, self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y

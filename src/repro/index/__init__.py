@@ -1,0 +1,14 @@
+"""Spatial index substrate: an R-tree and a uniform grid, from scratch.
+
+The paper indexes candidate locations with an R-tree (Guttman [26],
+max node capacity 8 in §6.1) and argues in §4.3 that indexing the
+*objects* does not pay off because their activity MBRs overlap heavily.
+Both index structures implement the same small protocol so the
+algorithms and the ablation benches can swap them freely.
+"""
+
+from repro.index.protocol import SpatialIndex
+from repro.index.rtree import RTree
+from repro.index.grid import UniformGrid
+
+__all__ = ["SpatialIndex", "RTree", "UniformGrid"]

@@ -1,0 +1,131 @@
+"""A uniform grid index over 2-D points.
+
+The ablation alternative to the R-tree (DESIGN.md §5): cells of fixed
+size hash point ids; range queries visit only overlapping cells.  Grid
+indexes are what Yan et al. [12] use for approximate LS; here the grid
+is exact (candidate coordinates are re-checked against the query).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.mbr import MBR
+
+
+class UniformGrid:
+    """A hash-grid spatial index with square cells of ``cell_size`` km."""
+
+    def __init__(self, cell_size: float = 1.0):
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self.cell_size = cell_size
+        self._cells: dict[tuple[int, int], list[tuple[int, float, float]]] = {}
+        self._count = 0
+        #: bounding box of occupied cells, for fast far-away NN queries
+        self._occupied_bbox: tuple[int, int, int, int] | None = None
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        return (math.floor(x / self.cell_size), math.floor(y / self.cell_size))
+
+    def insert(self, item_id: int, x: float, y: float) -> None:
+        """Add a point item to its cell."""
+        if not (math.isfinite(x) and math.isfinite(y)):
+            raise ValueError(f"coordinates must be finite, got ({x}, {y})")
+        cell = self._cell_of(x, y)
+        self._cells.setdefault(cell, []).append((item_id, x, y))
+        self._count += 1
+        if self._occupied_bbox is None:
+            self._occupied_bbox = (cell[0], cell[1], cell[0], cell[1])
+        else:
+            x0, y0, x1, y1 = self._occupied_bbox
+            self._occupied_bbox = (
+                min(x0, cell[0]), min(y0, cell[1]),
+                max(x1, cell[0]), max(y1, cell[1]),
+            )
+
+    def _cells_overlapping(self, rect: MBR):
+        cx0 = math.floor(rect.min_x / self.cell_size)
+        cx1 = math.floor(rect.max_x / self.cell_size)
+        cy0 = math.floor(rect.min_y / self.cell_size)
+        cy1 = math.floor(rect.max_y / self.cell_size)
+        for cx in range(cx0, cx1 + 1):
+            for cy in range(cy0, cy1 + 1):
+                bucket = self._cells.get((cx, cy))
+                if bucket:
+                    yield bucket
+
+    def query_rect(self, rect: MBR) -> list[int]:
+        """Ids of points inside the closed rectangle."""
+        out: list[int] = []
+        for bucket in self._cells_overlapping(rect):
+            out.extend(
+                item_id for item_id, x, y in bucket if rect.contains_point(x, y)
+            )
+        return out
+
+    def query_circle(self, x: float, y: float, radius: float) -> list[int]:
+        """Ids of points within ``radius`` of ``(x, y)``."""
+        if radius < 0:
+            return []
+        rect = MBR(x - radius, y - radius, x + radius, y + radius)
+        r2 = radius * radius
+        out: list[int] = []
+        for bucket in self._cells_overlapping(rect):
+            for item_id, ex, ey in bucket:
+                if (ex - x) ** 2 + (ey - y) ** 2 <= r2:
+                    out.append(item_id)
+        return out
+
+    @staticmethod
+    def _ring_cells(home: tuple[int, int], ring: int):
+        """Cells on the boundary of the square ring around ``home``."""
+        hx, hy = home
+        if ring == 0:
+            yield (hx, hy)
+            return
+        for cx in range(hx - ring, hx + ring + 1):
+            yield (cx, hy - ring)
+            yield (cx, hy + ring)
+        for cy in range(hy - ring + 1, hy + ring):
+            yield (hx - ring, cy)
+            yield (hx + ring, cy)
+
+    def nearest(self, x: float, y: float) -> tuple[int, float]:
+        """Expanding ring search for the closest point."""
+        if self._count == 0:
+            raise ValueError("nearest() on an empty index")
+        best_id: int | None = None
+        best_dist = math.inf
+        home = self._cell_of(x, y)
+        # Skip empty rings: start at the Chebyshev distance from the
+        # query cell to the occupied bounding box.
+        x0, y0, x1, y1 = self._occupied_bbox
+        ring = max(
+            0,
+            x0 - home[0], home[0] - x1,
+            y0 - home[1], home[1] - y1,
+        )
+        # Grow the ring until the closest possible remaining cell cannot
+        # beat the best candidate found so far.
+        while True:
+            for cx, cy in self._ring_cells(home, ring):
+                bucket = self._cells.get((cx, cy))
+                if not bucket:
+                    continue
+                for item_id, ex, ey in bucket:
+                    d = math.hypot(ex - x, ey - y)
+                    if d < best_dist:
+                        best_id, best_dist = item_id, d
+            if best_id is not None:
+                # Any point in a farther ring is at least this far away.
+                min_possible = ring * self.cell_size
+                if best_dist <= min_possible:
+                    break
+            ring += 1
+            if ring > 10_000_000:  # pragma: no cover - defensive guard
+                raise RuntimeError("nearest() ring search ran away")
+        return best_id, best_dist
+
+    def __len__(self) -> int:
+        return self._count

@@ -1,0 +1,30 @@
+"""The protocol shared by all spatial indexes in this library."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.geo.mbr import MBR
+
+
+@runtime_checkable
+class SpatialIndex(Protocol):
+    """Point-indexing structure over integer item ids.
+
+    All queries return item ids in unspecified order.
+    """
+
+    def insert(self, item_id: int, x: float, y: float) -> None:
+        """Add a point item."""
+
+    def query_rect(self, rect: MBR) -> list[int]:
+        """Ids of items inside the closed rectangle."""
+
+    def query_circle(self, x: float, y: float, radius: float) -> list[int]:
+        """Ids of items within ``radius`` of ``(x, y)`` (closed disk)."""
+
+    def nearest(self, x: float, y: float) -> tuple[int, float]:
+        """The ``(item_id, distance)`` of the closest item."""
+
+    def __len__(self) -> int:
+        """Number of indexed items."""

@@ -1,0 +1,19 @@
+"""Data model: moving objects, candidate locations, check-in datasets."""
+
+from repro.model.moving_object import MovingObject
+from repro.model.candidate import Candidate
+from repro.model.dataset import CheckinDataset, DatasetStats
+from repro.model.trajectory import Trajectory, daily_commuter_trajectory
+from repro.model.io import export_raw_log, read_checkin_log, write_checkin_log
+
+__all__ = [
+    "MovingObject",
+    "Candidate",
+    "CheckinDataset",
+    "DatasetStats",
+    "Trajectory",
+    "daily_commuter_trajectory",
+    "read_checkin_log",
+    "write_checkin_log",
+    "export_raw_log",
+]

@@ -1,0 +1,29 @@
+"""A candidate location for the new facility."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """A candidate location ``c`` with an integer id and planar coordinates.
+
+    ``label`` optionally carries a human-readable venue name for the
+    example applications; the algorithms ignore it.
+    """
+
+    candidate_id: int
+    x: float
+    y: float
+    label: str = ""
+
+    @property
+    def point(self) -> Point:
+        return Point(self.x, self.y)
+
+    def __repr__(self) -> str:
+        tag = f", label={self.label!r}" if self.label else ""
+        return f"Candidate(id={self.candidate_id}, x={self.x:.3f}, y={self.y:.3f}{tag})"

@@ -1,0 +1,199 @@
+"""Check-in datasets: moving objects + venues + ground-truth visit counts.
+
+Mirrors the role of the Foursquare/Gowalla data in the paper's §6: a
+set of users (moving objects built from their check-in positions), a
+set of venues (coordinates from which candidate locations are sampled),
+and per-venue check-in counts used as effectiveness ground truth.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.model.candidate import Candidate
+from repro.model.moving_object import MovingObject
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetStats:
+    """Summary statistics in the shape of the paper's Table 2."""
+
+    user_count: int
+    venue_count: int
+    checkin_count: int
+    avg_checkins: float
+    min_checkins: int
+    max_checkins: int
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Table 2-style ``(metric, value)`` rows."""
+        return [
+            ("user count", f"{self.user_count:,}"),
+            ("venue count", f"{self.venue_count:,}"),
+            ("check-ins", f"{self.checkin_count:,}"),
+            ("avg. check-ins", f"{self.avg_checkins:.0f}"),
+            ("min check-ins", f"{self.min_checkins}"),
+            ("max check-ins", f"{self.max_checkins}"),
+        ]
+
+
+class CheckinDataset:
+    """A bundle of moving objects, venue coordinates and visit counts.
+
+    ``venue_xy`` is an ``(m, 2)`` planar-km array; ``venue_checkins`` an
+    ``(m,)`` integer array of ground-truth check-in counts per venue.
+    ``name`` is a free-form tag ("foursquare-like", ...).
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[MovingObject],
+        venue_xy: np.ndarray,
+        venue_checkins: np.ndarray,
+        name: str = "dataset",
+    ):
+        venue_xy = np.asarray(venue_xy, dtype=float)
+        venue_checkins = np.asarray(venue_checkins, dtype=int)
+        if venue_xy.ndim != 2 or venue_xy.shape[1] != 2:
+            raise ValueError(f"venue_xy must be (m, 2), got {venue_xy.shape}")
+        if venue_checkins.shape != (venue_xy.shape[0],):
+            raise ValueError(
+                "venue_checkins must align with venue_xy: "
+                f"{venue_checkins.shape} vs {venue_xy.shape}"
+            )
+        self.objects = list(objects)
+        self.venue_xy = venue_xy
+        self.venue_checkins = venue_checkins
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+    @property
+    def n_objects(self) -> int:
+        return len(self.objects)
+
+    @property
+    def n_venues(self) -> int:
+        return self.venue_xy.shape[0]
+
+    def stats(self) -> DatasetStats:
+        """Summary statistics in the shape of the paper's Table 2."""
+        counts = np.array([o.n_positions for o in self.objects])
+        return DatasetStats(
+            user_count=self.n_objects,
+            venue_count=self.n_venues,
+            checkin_count=int(counts.sum()),
+            avg_checkins=float(counts.mean()),
+            min_checkins=int(counts.min()),
+            max_checkins=int(counts.max()),
+        )
+
+    # ------------------------------------------------------------------
+    # Candidate sampling (§6.1: "We choose 200..1000 positions from
+    # check-in coordinates as candidate locations by random uniform
+    # sampling.")
+    # ------------------------------------------------------------------
+    def sample_candidates(
+        self, count: int, rng: np.random.Generator
+    ) -> tuple[list[Candidate], np.ndarray]:
+        """Uniformly sample ``count`` venues as candidate locations.
+
+        Returns the candidates and the indices of the venues they were
+        drawn from (for ground-truth lookup).
+        """
+        if not 1 <= count <= self.n_venues:
+            raise ValueError(
+                f"count must be in [1, {self.n_venues}], got {count}"
+            )
+        idx = rng.choice(self.n_venues, size=count, replace=False)
+        candidates = [
+            Candidate(int(j), float(self.venue_xy[j, 0]), float(self.venue_xy[j, 1]))
+            for j in idx
+        ]
+        return candidates, idx
+
+    def subset_objects(
+        self, count: int, rng: np.random.Generator
+    ) -> list[MovingObject]:
+        """A uniform random subset of the moving objects (Fig 9 sweeps)."""
+        if not 1 <= count <= self.n_objects:
+            raise ValueError(
+                f"count must be in [1, {self.n_objects}], got {count}"
+            )
+        idx = rng.choice(self.n_objects, size=count, replace=False)
+        return [self.objects[i] for i in idx]
+
+    # ------------------------------------------------------------------
+    # Persistence (simple CSV formats so examples can ship tiny data)
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> None:
+        """Write ``checkins.csv`` and ``venues.csv`` under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with open(directory / "checkins.csv", "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["object_id", "x_km", "y_km"])
+            for obj in self.objects:
+                for x, y in obj.positions:
+                    writer.writerow([obj.object_id, f"{x:.6f}", f"{y:.6f}"])
+        with open(directory / "venues.csv", "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["venue_id", "x_km", "y_km", "checkins"])
+            for j in range(self.n_venues):
+                writer.writerow(
+                    [
+                        j,
+                        f"{self.venue_xy[j, 0]:.6f}",
+                        f"{self.venue_xy[j, 1]:.6f}",
+                        int(self.venue_checkins[j]),
+                    ]
+                )
+
+    @classmethod
+    def load(cls, directory: str | Path, name: str = "dataset") -> "CheckinDataset":
+        """Read a dataset written by :meth:`save`."""
+        directory = Path(directory)
+        by_object: dict[int, list[tuple[float, float]]] = {}
+        with open(directory / "checkins.csv", newline="") as f:
+            for row in csv.DictReader(f):
+                by_object.setdefault(int(row["object_id"]), []).append(
+                    (float(row["x_km"]), float(row["y_km"]))
+                )
+        objects = [
+            MovingObject(oid, np.array(points))
+            for oid, points in sorted(by_object.items())
+        ]
+        venue_rows: list[tuple[float, float, int]] = []
+        with open(directory / "venues.csv", newline="") as f:
+            for row in csv.DictReader(f):
+                venue_rows.append(
+                    (float(row["x_km"]), float(row["y_km"]), int(row["checkins"]))
+                )
+        venue_xy = np.array([(x, y) for x, y, _ in venue_rows])
+        venue_checkins = np.array([c for _, _, c in venue_rows])
+        return cls(objects, venue_xy, venue_checkins, name=name)
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckinDataset(name={self.name!r}, objects={self.n_objects}, "
+            f"venues={self.n_venues})"
+        )
+
+
+def objects_from_checkins(
+    checkins: Iterable[tuple[int, float, float]]
+) -> list[MovingObject]:
+    """Group raw ``(object_id, x, y)`` check-in rows into moving objects."""
+    by_object: dict[int, list[tuple[float, float]]] = {}
+    for oid, x, y in checkins:
+        by_object.setdefault(int(oid), []).append((float(x), float(y)))
+    return [
+        MovingObject(oid, np.array(points))
+        for oid, points in sorted(by_object.items())
+    ]

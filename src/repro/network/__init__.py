@@ -1,0 +1,20 @@
+"""Road-network PRIME-LS (related-work extension, after Shang et al. [8]).
+
+The paper's §2 discusses location selection in road networks (R-PNN),
+where distance is shortest-path length rather than Euclidean.  This
+package provides that setting for PRIME-LS semantics:
+
+* :mod:`repro.network.graph` — a road-network substrate on top of
+  NetworkX: synthetic grid-with-diagonals generators, coordinate
+  snapping, bounded Dijkstra;
+* :mod:`repro.network.prime_ls` — exact network-distance PRIME-LS
+  with the one pruning rule that survives the metric change: network
+  distance dominates Euclidean distance, so the *non-influence
+  boundary* (Lemma 3) applied with Euclidean `minDist` is still sound
+  (the influence-arcs rule is not, and is not used).
+"""
+
+from repro.network.graph import RoadNetwork, grid_road_network
+from repro.network.prime_ls import NetworkPrimeLS
+
+__all__ = ["RoadNetwork", "grid_road_network", "NetworkPrimeLS"]

@@ -1,0 +1,135 @@
+"""Road-network substrate on top of NetworkX.
+
+Nodes are integer ids with planar-km coordinates; edge weights are
+their Euclidean lengths (optionally stretched to model slow roads).
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+from repro.index.grid import UniformGrid
+
+
+class RoadNetwork:
+    """A weighted undirected road graph with coordinate lookup."""
+
+    def __init__(self, graph: nx.Graph):
+        for node, data in graph.nodes(data=True):
+            if "x" not in data or "y" not in data:
+                raise ValueError(f"node {node} lacks x/y coordinates")
+        for u, v, data in graph.edges(data=True):
+            if "length" not in data:
+                raise ValueError(f"edge ({u}, {v}) lacks a length")
+            if data["length"] < 0:
+                raise ValueError(f"edge ({u}, {v}) has negative length")
+        self.graph = graph
+        self._snap_index = UniformGrid(cell_size=1.0)
+        for node, data in graph.nodes(data=True):
+            self._snap_index.insert(node, float(data["x"]), float(data["y"]))
+
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def coordinates(self, node: int) -> tuple[float, float]:
+        """Planar-km coordinates of a node."""
+        data = self.graph.nodes[node]
+        return float(data["x"]), float(data["y"])
+
+    def coordinates_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(node_ids, xy)`` arrays in a consistent order."""
+        nodes = np.array(sorted(self.graph.nodes))
+        xy = np.array([self.coordinates(int(n)) for n in nodes])
+        return nodes, xy
+
+    def snap(self, x: float, y: float) -> int:
+        """The network node closest to ``(x, y)``."""
+        node, _ = self._snap_index.nearest(x, y)
+        return node
+
+    def shortest_path_lengths(
+        self, source: int, cutoff: float | None = None
+    ) -> dict[int, float]:
+        """Dijkstra distances from ``source``; bounded by ``cutoff``."""
+        return nx.single_source_dijkstra_path_length(
+            self.graph, source, cutoff=cutoff, weight="length"
+        )
+
+    def network_distance(self, a: int, b: int) -> float:
+        """Shortest-path length between two nodes (inf if disconnected)."""
+        try:
+            return nx.dijkstra_path_length(self.graph, a, b, weight="length")
+        except nx.NetworkXNoPath:
+            return math.inf
+
+
+def grid_road_network(
+    rows: int,
+    cols: int,
+    spacing_km: float = 1.0,
+    rng: np.random.Generator | None = None,
+    jitter_km: float = 0.0,
+    removal_prob: float = 0.0,
+    detour_factor: float = 1.0,
+) -> RoadNetwork:
+    """A synthetic city grid: ``rows × cols`` intersections.
+
+    ``jitter_km`` perturbs intersection coordinates; ``removal_prob``
+    drops street segments (keeping the network connected); edges longer
+    than the crow flies by ``detour_factor`` model slow or winding
+    roads.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("need at least a 2x2 grid")
+    if detour_factor < 1.0:
+        raise ValueError("detour_factor must be >= 1")
+    if not 0.0 <= removal_prob < 1.0:
+        raise ValueError("removal_prob must be in [0, 1)")
+    if (jitter_km > 0 or removal_prob > 0) and rng is None:
+        raise ValueError("jitter/removal require an rng")
+
+    graph = nx.Graph()
+    def node_id(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            x = c * spacing_km
+            y = r * spacing_km
+            if jitter_km > 0:
+                x += float(rng.normal(0, jitter_km))
+                y += float(rng.normal(0, jitter_km))
+            graph.add_node(node_id(r, c), x=x, y=y)
+
+    def add_edge(a: int, b: int) -> None:
+        ax, ay = graph.nodes[a]["x"], graph.nodes[a]["y"]
+        bx, by = graph.nodes[b]["x"], graph.nodes[b]["y"]
+        graph.add_edge(
+            a, b, length=math.hypot(ax - bx, ay - by) * detour_factor
+        )
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                add_edge(node_id(r, c), node_id(r, c + 1))
+            if r + 1 < rows:
+                add_edge(node_id(r, c), node_id(r + 1, c))
+
+    if removal_prob > 0:
+        candidates_for_removal = list(graph.edges)
+        rng.shuffle(candidates_for_removal)
+        for u, v in candidates_for_removal:
+            if rng.uniform() < removal_prob:
+                data = graph.edges[u, v]
+                graph.remove_edge(u, v)
+                if not nx.is_connected(graph):
+                    graph.add_edge(u, v, **data)  # keep it connected
+    return RoadNetwork(graph)

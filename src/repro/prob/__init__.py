@@ -1,0 +1,29 @@
+"""Distance-based influence probability functions (the paper's ``PF``).
+
+§3.1 requires ``PF`` to be monotonically decreasing in distance; the
+influence probability of a candidate ``c`` on a position ``p`` is
+``Pr_c(p) = PF(dist(c, p))``.
+
+The default function is the power law of Liu et al. [21] used throughout
+the paper's evaluation, ``PF(d) = ρ·(d₀ + d)^−λ``.  §6.2 (Fig 16) also
+evaluates Logsig, its convex and concave parts, and a linear ramp — all
+implemented here, plus an exponential-decay extension.
+"""
+
+from repro.prob.base import ProbabilityFunction
+from repro.prob.powerlaw import PowerLawPF
+from repro.prob.sigmoid import ConcavePF, ConvexPF, LogsigPF
+from repro.prob.linear import LinearPF
+from repro.prob.exponential import ExponentialPF
+from repro.prob.custom import CallablePF
+
+__all__ = [
+    "CallablePF",
+    "ProbabilityFunction",
+    "PowerLawPF",
+    "LogsigPF",
+    "ConvexPF",
+    "ConcavePF",
+    "LinearPF",
+    "ExponentialPF",
+]

@@ -1,0 +1,71 @@
+"""Abstract base for distance-based influence probability functions."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+ArrayLike = float | np.ndarray
+
+
+class ProbabilityFunction(ABC):
+    """A monotonically decreasing map from distance (km) to probability.
+
+    Subclasses implement :meth:`__call__` (accepting scalars or NumPy
+    arrays) and :meth:`inverse`.  The inverse is the key ingredient of
+    the ``minMaxRadius`` measure:
+    ``minMaxRadius(τ, n) = PF⁻¹(1 − (1 − τ)^(1/n))``.
+    """
+
+    @abstractmethod
+    def __call__(self, dist: ArrayLike) -> ArrayLike:
+        """Influence probability at distance ``dist`` (km, non-negative)."""
+
+    @abstractmethod
+    def inverse(self, prob: float) -> float:
+        """The distance at which the probability equals ``prob``.
+
+        Defined for ``prob`` in ``(0, max_probability]``.  Raises
+        ``ValueError`` outside that interval; callers that need the
+        "unreachable" semantics should test against
+        :attr:`max_probability` first (see
+        :func:`repro.core.minmax_radius.min_max_radius`).
+        """
+
+    @property
+    def max_probability(self) -> float:
+        """The probability at distance zero, the supremum of the range."""
+        return float(self(0.0))
+
+    def support_radius(self, min_prob: float = 1e-12) -> float:
+        """A distance beyond which the probability is below ``min_prob``.
+
+        Used by range queries that need a finite search radius; may be
+        ``inf`` for heavy-tailed functions evaluated at ``min_prob=0``.
+        """
+        if min_prob <= 0:
+            return float("inf")
+        if min_prob > self.max_probability:
+            return 0.0
+        return self.inverse(min_prob)
+
+    def check_monotone(self, max_dist: float = 100.0, samples: int = 512) -> None:
+        """Raise ``ValueError`` unless the function is non-increasing.
+
+        A sampled sanity check used by tests and by constructors of
+        user-supplied functions.
+        """
+        ds = np.linspace(0.0, max_dist, samples)
+        ps = np.asarray(self(ds), dtype=float)
+        if np.any(np.diff(ps) > 1e-12):
+            raise ValueError(f"{self!r} is not monotonically decreasing")
+        if np.any(ps < -1e-12) or np.any(ps > 1.0 + 1e-12):
+            raise ValueError(f"{self!r} produces values outside [0, 1]")
+
+    def _check_inverse_domain(self, prob: float) -> None:
+        if not 0.0 < prob <= self.max_probability + 1e-12:
+            raise ValueError(
+                f"inverse undefined for prob={prob}; valid range is "
+                f"(0, {self.max_probability}]"
+            )

@@ -1,0 +1,37 @@
+"""Exponential-decay probability function (extension beyond the paper).
+
+Not part of the paper's Fig 16 set, but a common distance-decay model;
+included to demonstrate that PINOCCHIO is PF-agnostic (§6.2: "many other
+PF functions can also be adopted without any modification").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.prob.base import ArrayLike, ProbabilityFunction
+
+
+class ExponentialPF(ProbabilityFunction):
+    """``PF(d) = ρ·exp(−d / length)``."""
+
+    def __init__(self, rho: float = 0.9, length: float = 2.0):
+        if not 0.0 < rho <= 1.0:
+            raise ValueError(f"rho must be in (0, 1], got {rho}")
+        if length <= 0.0:
+            raise ValueError(f"length must be positive, got {length}")
+        self.rho = rho
+        self.length = length
+
+    def __call__(self, dist: ArrayLike) -> ArrayLike:
+        out = self.rho * np.exp(-np.asarray(dist, dtype=float) / self.length)
+        return float(out) if out.ndim == 0 else out
+
+    def inverse(self, prob: float) -> float:
+        self._check_inverse_domain(prob)
+        return max(0.0, self.length * math.log(self.rho / prob))
+
+    def __repr__(self) -> str:
+        return f"ExponentialPF(rho={self.rho}, length={self.length})"

@@ -1,0 +1,31 @@
+"""Linear ramp probability function (Fig 16a's "Linear")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prob.base import ArrayLike, ProbabilityFunction
+
+
+class LinearPF(ProbabilityFunction):
+    """``PF(d) = ρ·(1 − d / scale)`` for ``d ≤ scale``, 0 beyond."""
+
+    def __init__(self, rho: float = 0.5, scale: float = 10.0):
+        if not 0.0 < rho <= 1.0:
+            raise ValueError(f"rho must be in (0, 1], got {rho}")
+        if scale <= 0.0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.rho = rho
+        self.scale = scale
+
+    def __call__(self, dist: ArrayLike) -> ArrayLike:
+        d = np.asarray(dist, dtype=float)
+        out = self.rho * np.clip(1.0 - d / self.scale, 0.0, 1.0)
+        return float(out) if out.ndim == 0 else out
+
+    def inverse(self, prob: float) -> float:
+        self._check_inverse_domain(prob)
+        return max(0.0, self.scale * (1.0 - prob / self.rho))
+
+    def __repr__(self) -> str:
+        return f"LinearPF(rho={self.rho}, scale={self.scale})"

@@ -1,0 +1,49 @@
+"""The power-law check-in probability function of Liu et al. [21].
+
+``PF(d) = ρ·(d₀ + d)^−λ`` — the paper's default: "the probability of a
+user checking-in at a point-of-interest decays as the power-law of the
+distance between them" (§6.1).  Default parameters follow the paper:
+``ρ = 0.9``, ``λ = 1.0``, ``d₀ = 1.0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prob.base import ArrayLike, ProbabilityFunction
+
+
+class PowerLawPF(ProbabilityFunction):
+    """``PF(d) = rho * (d0 + d) ** -lam``.
+
+    ``rho`` is the behaviour-pattern factor (the probability at zero
+    distance when ``d0 == 1``), ``lam`` the power-law exponent, and
+    ``d0`` a distance offset keeping the function finite at ``d = 0``.
+    """
+
+    def __init__(self, rho: float = 0.9, lam: float = 1.0, d0: float = 1.0):
+        if not 0.0 < rho <= 1.0:
+            raise ValueError(f"rho must be in (0, 1], got {rho}")
+        if lam <= 0.0:
+            raise ValueError(f"lam must be positive, got {lam}")
+        if d0 <= 0.0:
+            raise ValueError(f"d0 must be positive, got {d0}")
+        if rho * d0**-lam > 1.0 + 1e-12:
+            raise ValueError(
+                f"PF(0) = {rho * d0 ** -lam} exceeds 1; choose rho/d0/lam "
+                "so the function stays a probability"
+            )
+        self.rho = rho
+        self.lam = lam
+        self.d0 = d0
+
+    def __call__(self, dist: ArrayLike) -> ArrayLike:
+        out = self.rho * (self.d0 + np.asarray(dist, dtype=float)) ** -self.lam
+        return float(out) if out.ndim == 0 else out
+
+    def inverse(self, prob: float) -> float:
+        self._check_inverse_domain(prob)
+        return max(0.0, (self.rho / prob) ** (1.0 / self.lam) - self.d0)
+
+    def __repr__(self) -> str:
+        return f"PowerLawPF(rho={self.rho}, lam={self.lam}, d0={self.d0})"

@@ -1,0 +1,126 @@
+"""Sigmoid-family probability functions from Fig 16a of the paper.
+
+``Logsig`` is the paper's "variation of the Log-sigmoid transfer
+function", ``logsig(d) = ρ / (1 + e^d)`` with ``ρ = 0.5``.  ``Convex``
+and ``Concave`` are the convex and concave branches of the sigmoid,
+normalised to the same scale (the paper normalises all four Fig 16
+functions to a common range).
+
+All three share a ``scale`` parameter: the distance (km) over which
+``Convex``/``Concave`` fall from their maximum to zero, and the
+exponent rate for ``Logsig``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.prob.base import ArrayLike, ProbabilityFunction
+
+
+def _sigma(t: ArrayLike) -> ArrayLike:
+    """The decreasing logistic ``σ(t) = 1 / (1 + e^t)``."""
+    return 1.0 / (1.0 + np.exp(np.asarray(t, dtype=float)))
+
+
+class LogsigPF(ProbabilityFunction):
+    """``PF(d) = ρ / (1 + e^(d / scale))`` — the paper's Logsig."""
+
+    def __init__(self, rho: float = 0.5, scale: float = 1.0):
+        if not 0.0 < rho <= 1.0:
+            raise ValueError(f"rho must be in (0, 1], got {rho}")
+        if scale <= 0.0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.rho = rho
+        self.scale = scale
+
+    def __call__(self, dist: ArrayLike) -> ArrayLike:
+        out = self.rho * _sigma(np.asarray(dist, dtype=float) / self.scale)
+        return float(out) if out.ndim == 0 else out
+
+    def inverse(self, prob: float) -> float:
+        self._check_inverse_domain(prob)
+        # prob = rho / (1 + e^(d/scale))  =>  d = scale·ln(rho/prob − 1)
+        ratio = self.rho / prob - 1.0
+        if ratio <= 0.0:
+            return 0.0
+        return self.scale * math.log(ratio)
+
+    def __repr__(self) -> str:
+        return f"LogsigPF(rho={self.rho}, scale={self.scale})"
+
+
+class ConvexPF(ProbabilityFunction):
+    """The convex branch of the sigmoid, rescaled to hit 0 at ``scale`` km.
+
+    ``PF(d) = ρ·(σ(k·d) − σ(k·D)) / (1/2 − σ(k·D))`` for ``d ≤ D``,
+    0 beyond, with ``D = scale`` and steepness ``k``.
+    """
+
+    def __init__(self, rho: float = 0.5, scale: float = 10.0, steepness: float = 0.5):
+        if not 0.0 < rho <= 1.0:
+            raise ValueError(f"rho must be in (0, 1], got {rho}")
+        if scale <= 0.0 or steepness <= 0.0:
+            raise ValueError("scale and steepness must be positive")
+        self.rho = rho
+        self.scale = scale
+        self.steepness = steepness
+        self._floor = float(_sigma(steepness * scale))
+        self._span = 0.5 - self._floor
+
+    def __call__(self, dist: ArrayLike) -> ArrayLike:
+        d = np.asarray(dist, dtype=float)
+        raw = (_sigma(self.steepness * d) - self._floor) / self._span
+        out = self.rho * np.clip(raw, 0.0, 1.0)
+        return float(out) if out.ndim == 0 else out
+
+    def inverse(self, prob: float) -> float:
+        self._check_inverse_domain(prob)
+        target = self._floor + self._span * min(1.0, prob / self.rho)
+        # σ(k·d) = target  =>  d = ln(1/target − 1) / k
+        return max(0.0, math.log(1.0 / target - 1.0) / self.steepness)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConvexPF(rho={self.rho}, scale={self.scale}, "
+            f"steepness={self.steepness})"
+        )
+
+
+class ConcavePF(ProbabilityFunction):
+    """The concave branch of the sigmoid, rescaled to hit 0 at ``scale`` km.
+
+    Uses ``σ(k·(d − D))`` for ``d ∈ [0, D]`` — the ``t < 0`` (concave)
+    part of the logistic — normalised so ``PF(0) = ρ`` and ``PF(D) = 0``.
+    """
+
+    def __init__(self, rho: float = 0.5, scale: float = 10.0, steepness: float = 0.5):
+        if not 0.0 < rho <= 1.0:
+            raise ValueError(f"rho must be in (0, 1], got {rho}")
+        if scale <= 0.0 or steepness <= 0.0:
+            raise ValueError("scale and steepness must be positive")
+        self.rho = rho
+        self.scale = scale
+        self.steepness = steepness
+        self._top = float(_sigma(-steepness * scale))
+        self._span = self._top - 0.5
+
+    def __call__(self, dist: ArrayLike) -> ArrayLike:
+        d = np.asarray(dist, dtype=float)
+        raw = (_sigma(self.steepness * (d - self.scale)) - 0.5) / self._span
+        out = self.rho * np.clip(raw, 0.0, 1.0)
+        return float(out) if out.ndim == 0 else out
+
+    def inverse(self, prob: float) -> float:
+        self._check_inverse_domain(prob)
+        target = 0.5 + self._span * min(1.0, prob / self.rho)
+        # σ(k·(d − D)) = target  =>  d = D + ln(1/target − 1) / k
+        return max(0.0, self.scale + math.log(1.0 / target - 1.0) / self.steepness)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConcavePF(rho={self.rho}, scale={self.scale}, "
+            f"steepness={self.steepness})"
+        )

@@ -1,0 +1,11 @@
+"""Dependency-free SVG visualisation of PRIME-LS scenes.
+
+Renders what the paper's Figs 3-5 sketch: object positions, their
+activity MBRs, the influence-arcs and non-influence-boundary regions,
+candidate locations, and the selected optimum.
+"""
+
+from repro.viz.svg import SVGCanvas
+from repro.viz.scene import render_scene
+
+__all__ = ["SVGCanvas", "render_scene"]

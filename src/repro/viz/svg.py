@@ -1,0 +1,122 @@
+"""A minimal SVG canvas (no third-party dependencies).
+
+Coordinates are given in world units (km); the canvas maps them to
+pixels with y flipped (SVG grows downward, maps grow upward).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+
+class SVGCanvas:
+    """Accumulates SVG elements over a world-coordinate viewport."""
+
+    def __init__(
+        self,
+        min_x: float,
+        min_y: float,
+        max_x: float,
+        max_y: float,
+        width_px: int = 800,
+        margin_px: int = 20,
+    ):
+        if max_x <= min_x or max_y <= min_y:
+            raise ValueError("degenerate viewport")
+        if width_px <= 2 * margin_px:
+            raise ValueError("width_px too small for the margin")
+        self.min_x = min_x
+        self.min_y = min_y
+        self.max_x = max_x
+        self.max_y = max_y
+        self.margin = margin_px
+        inner = width_px - 2 * margin_px
+        self.scale = inner / (max_x - min_x)
+        self.width_px = width_px
+        self.height_px = int((max_y - min_y) * self.scale) + 2 * margin_px
+        self._elements: list[str] = []
+
+    # ------------------------------------------------------------------
+    def to_px(self, x: float, y: float) -> tuple[float, float]:
+        """World (km) to pixel coordinates, y flipped."""
+        px = self.margin + (x - self.min_x) * self.scale
+        py = self.height_px - self.margin - (y - self.min_y) * self.scale
+        return px, py
+
+    # ------------------------------------------------------------------
+    def circle(self, x: float, y: float, radius_px: float, fill: str = "black",
+               opacity: float = 1.0, stroke: str = "none") -> None:
+        """A filled circle of ``radius_px`` pixels at world ``(x, y)``."""
+        px, py = self.to_px(x, y)
+        self._elements.append(
+            f'<circle cx="{px:.2f}" cy="{py:.2f}" r="{radius_px:.2f}" '
+            f'fill="{fill}" fill-opacity="{opacity}" stroke="{stroke}"/>'
+        )
+
+    def rect(self, min_x: float, min_y: float, max_x: float, max_y: float,
+             stroke: str = "black", fill: str = "none",
+             stroke_width: float = 1.0, dash: str | None = None) -> None:
+        """An axis-aligned rectangle given in world coordinates."""
+        x0, y1 = self.to_px(min_x, min_y)
+        x1, y0 = self.to_px(max_x, max_y)
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<rect x="{x0:.2f}" y="{y0:.2f}" width="{x1 - x0:.2f}" '
+            f'height="{y1 - y0:.2f}" stroke="{stroke}" fill="{fill}" '
+            f'stroke-width="{stroke_width}"{dash_attr}/>'
+        )
+
+    def polyline(self, points, stroke: str = "black",
+                 stroke_width: float = 1.0, closed: bool = False,
+                 fill: str = "none", dash: str | None = None) -> None:
+        """A polyline (or closed polygon) through world points."""
+        px = " ".join(
+            "{:.2f},{:.2f}".format(*self.to_px(float(x), float(y)))
+            for x, y in points
+        )
+        tag = "polygon" if closed else "polyline"
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<{tag} points="{px}" stroke="{stroke}" fill="{fill}" '
+            f'stroke-width="{stroke_width}"{dash_attr}/>'
+        )
+
+    def marker(self, x: float, y: float, size_px: float = 8.0,
+               color: str = "red") -> None:
+        """An X marker for highlighted locations."""
+        px, py = self.to_px(x, y)
+        s = size_px / 2
+        self._elements.append(
+            f'<path d="M {px - s:.2f} {py - s:.2f} L {px + s:.2f} {py + s:.2f} '
+            f'M {px - s:.2f} {py + s:.2f} L {px + s:.2f} {py - s:.2f}" '
+            f'stroke="{color}" stroke-width="2.5" fill="none"/>'
+        )
+
+    def text(self, x: float, y: float, content: str, size_px: int = 12,
+             color: str = "black") -> None:
+        """A text label anchored at world ``(x, y)``."""
+        px, py = self.to_px(x, y)
+        self._elements.append(
+            f'<text x="{px:.2f}" y="{py:.2f}" font-size="{size_px}" '
+            f'fill="{color}" font-family="sans-serif">{escape(content)}</text>'
+        )
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The complete SVG document as a string."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width_px}" height="{self.height_px}" '
+            f'viewBox="0 0 {self.width_px} {self.height_px}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the rendered SVG to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render())
+        return path

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import tiny_demo
+from repro.prob import PowerLawPF
+
+
+@pytest.fixture(scope="session")
+def demo_world():
+    """The small deterministic demo world (60 users, 150 venues)."""
+    return tiny_demo(seed=7)
+
+
+@pytest.fixture(scope="session")
+def demo_dataset(demo_world):
+    return demo_world.dataset
+
+
+@pytest.fixture(scope="session")
+def demo_candidates(demo_dataset):
+    rng = np.random.default_rng(123)
+    candidates, venue_idx = demo_dataset.sample_candidates(40, rng)
+    return candidates, venue_idx
+
+
+@pytest.fixture()
+def pf():
+    """The paper-default probability function."""
+    return PowerLawPF(rho=0.9, lam=1.0)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(2024)

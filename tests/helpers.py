@@ -1,0 +1,34 @@
+"""Random-instance builders shared across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model import Candidate, MovingObject
+
+
+def make_objects(
+    rng: np.random.Generator,
+    count: int,
+    extent: float = 30.0,
+    n_range: tuple[int, int] = (1, 40),
+    spread: float = 4.0,
+) -> list[MovingObject]:
+    """Random moving objects with anchored position clouds."""
+    objects = []
+    for oid in range(count):
+        n = int(rng.integers(n_range[0], n_range[1] + 1))
+        anchor = rng.uniform(0.0, extent, size=2)
+        positions = anchor + rng.normal(0.0, spread, size=(n, 2))
+        objects.append(MovingObject(oid, positions))
+    return objects
+
+
+def make_candidates(
+    rng: np.random.Generator, count: int, extent: float = 30.0
+) -> list[Candidate]:
+    """Random candidate locations, uniform over the extent."""
+    return [
+        Candidate(j, float(x), float(y))
+        for j, (x, y) in enumerate(rng.uniform(0.0, extent, size=(count, 2)))
+    ]

@@ -1,0 +1,51 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.experiments.ascii_chart import bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        out = bar_chart(["a", "b"], [1.0, 0.5], width=4)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 4
+        assert lines[1].count("█") == 2
+
+    def test_title(self):
+        out = bar_chart(["x"], [1.0], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_labels_aligned(self):
+        out = bar_chart(["a", "long-label"], [1.0, 1.0], width=3)
+        lines = out.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_zero_values_ok(self):
+        out = bar_chart(["z"], [0.0], width=5)
+        assert "█" not in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        out = sparkline([0, 1, 2, 3])
+        assert out[0] == "▁"
+        assert out[-1] == "█"
+        assert len(out) == 4
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sparkline([])

@@ -1,0 +1,127 @@
+"""Tests for the BRNN* and RANGE baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BRNNStar, RangeBaseline, range_parameter_grid
+from repro.baselines.range_based import averaged_range_scores
+from repro.model import Candidate, MovingObject
+
+from tests.helpers import make_candidates, make_objects
+
+
+class TestBRNNStar:
+    def test_hand_instance(self, pf):
+        # Object with 3 positions near c0 and 1 near c1 endorses c0.
+        obj = MovingObject(
+            0,
+            np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [10.0, 10.0]]),
+        )
+        candidates = [Candidate(0, 0.0, 0.0), Candidate(1, 10.0, 10.0)]
+        result = BRNNStar().select([obj], candidates, pf, 0.5)
+        assert result.influences == {0: 1, 1: 0}
+        assert result.best_candidate.candidate_id == 0
+
+    def test_votes_sum_to_object_count(self, pf, rng):
+        objects = make_objects(rng, 20)
+        candidates = make_candidates(rng, 10)
+        result = BRNNStar().select(objects, candidates, pf, 0.5)
+        assert sum(result.influences.values()) == len(objects)
+
+    def test_each_object_votes_once(self, pf, rng):
+        objects = make_objects(rng, 1)
+        candidates = make_candidates(rng, 15)
+        result = BRNNStar().select(objects, candidates, pf, 0.5)
+        assert sum(result.influences.values()) == 1
+
+    def test_tau_and_pf_ignored(self, pf, rng):
+        # BRNN* is probability-free: results identical across tau.
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 8)
+        a = BRNNStar().select(objects, candidates, pf, 0.1)
+        b = BRNNStar().select(objects, candidates, pf, 0.9)
+        assert a.influences == b.influences
+
+    def test_nn_tie_breaks_to_lower_index(self, pf):
+        # Position equidistant from both candidates: argmin picks index 0.
+        obj = MovingObject(0, np.array([[5.0, 0.0]]))
+        candidates = [Candidate(0, 0.0, 0.0), Candidate(1, 10.0, 0.0)]
+        result = BRNNStar().select([obj], candidates, pf, 0.5)
+        assert result.influences[0] == 1
+
+
+class TestRangeBaseline:
+    def test_hand_instance(self, pf):
+        # 3 of 4 positions within 1 km of c0 => influenced at 50% but
+        # not at 80% proportion.
+        obj = MovingObject(
+            0,
+            np.array([[0.0, 0.0], [0.5, 0.0], [0.0, 0.5], [10.0, 10.0]]),
+        )
+        candidates = [Candidate(0, 0.0, 0.0)]
+        fifty = RangeBaseline(proportion=0.5, range_km=1.0).select(
+            [obj], candidates, pf, 0.5
+        )
+        eighty = RangeBaseline(proportion=0.8, range_km=1.0).select(
+            [obj], candidates, pf, 0.5
+        )
+        assert fifty.influences[0] == 1
+        assert eighty.influences[0] == 0
+
+    def test_range_boundary_inclusive(self, pf):
+        obj = MovingObject(0, np.array([[1.0, 0.0]]))
+        candidates = [Candidate(0, 0.0, 0.0)]
+        result = RangeBaseline(proportion=1.0, range_km=1.0).select(
+            [obj], candidates, pf, 0.5
+        )
+        assert result.influences[0] == 1
+
+    def test_monotone_in_range(self, pf, rng):
+        objects = make_objects(rng, 15)
+        candidates = make_candidates(rng, 10)
+        small = RangeBaseline(0.5, 0.5).select(objects, candidates, pf, 0.5)
+        large = RangeBaseline(0.5, 5.0).select(objects, candidates, pf, 0.5)
+        for j in range(10):
+            assert large.influences[j] >= small.influences[j]
+
+    def test_monotone_in_proportion(self, pf, rng):
+        objects = make_objects(rng, 15)
+        candidates = make_candidates(rng, 10)
+        lenient = RangeBaseline(0.25, 2.0).select(objects, candidates, pf, 0.5)
+        strict = RangeBaseline(0.75, 2.0).select(objects, candidates, pf, 0.5)
+        for j in range(10):
+            assert lenient.influences[j] >= strict.influences[j]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RangeBaseline(proportion=0.0)
+        with pytest.raises(ValueError):
+            RangeBaseline(proportion=1.5)
+        with pytest.raises(ValueError):
+            RangeBaseline(range_km=0.0)
+
+
+class TestRangeGrid:
+    def test_nine_combinations(self):
+        grid = range_parameter_grid(40.0)
+        assert len(grid) == 9
+        proportions = {p for p, _ in grid}
+        assert proportions == {0.25, 0.50, 0.75}
+
+    def test_base_is_5_permille(self):
+        grid = range_parameter_grid(40.0)
+        ranges = sorted({r for _, r in grid})
+        assert ranges == [pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.4)]
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            range_parameter_grid(0.0)
+
+    def test_averaged_scores(self, pf, rng):
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 6)
+        scores = averaged_range_scores(objects, candidates, 30.0, pf, 0.5)
+        assert set(scores) == set(range(6))
+        # The average of 9 integer influences is within [0, r].
+        for value in scores.values():
+            assert 0.0 <= value <= 10.0

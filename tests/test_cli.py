@@ -1,0 +1,31 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10-f" in out
+        assert "precision" in out
+        assert "sampling" in out
+
+    def test_default_is_list(self, capsys):
+        assert main([]) == 0
+        assert "table2" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_remark(self, capsys):
+        assert main(["remark"]) == 0
+        assert "Remark" in capsys.readouterr().out
+
+    def test_runs_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "user count" in out

@@ -1,0 +1,103 @@
+"""Tests for CallablePF and the paired-bootstrap significance helper."""
+
+import numpy as np
+import pytest
+
+from repro.core.naive import NaiveAlgorithm
+from repro.core.pinocchio_vo import PinocchioVO
+from repro.eval import paired_bootstrap
+from repro.prob import CallablePF, PowerLawPF
+
+from tests.helpers import make_candidates, make_objects
+
+
+class TestCallablePF:
+    def test_wraps_powerlaw_equivalently(self):
+        reference = PowerLawPF()
+        wrapped = CallablePF(lambda d: 0.9 * (1.0 + d) ** -1.0, max_dist=1e6)
+        ds = np.linspace(0, 100, 50)
+        np.testing.assert_allclose(wrapped(ds), reference(ds))
+
+    def test_numeric_inverse_matches_closed_form(self):
+        reference = PowerLawPF()
+        wrapped = CallablePF(lambda d: 0.9 * (1.0 + d) ** -1.0, max_dist=1e6)
+        for p in (0.8, 0.45, 0.1, 0.01):
+            assert wrapped.inverse(p) == pytest.approx(
+                reference.inverse(p), abs=1e-6
+            )
+
+    def test_scalar_output_is_float(self):
+        wrapped = CallablePF(lambda d: np.exp(-d) * 0.5)
+        assert isinstance(wrapped(2.0), float)
+
+    def test_rejects_non_monotone(self):
+        with pytest.raises(ValueError):
+            CallablePF(lambda d: np.abs(np.sin(d)))
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(ValueError):
+            CallablePF(lambda d: 2.0 / (1.0 + d))
+
+    def test_inverse_beyond_support_raises(self):
+        wrapped = CallablePF(lambda d: 0.9 * (1.0 + d) ** -1.0, max_dist=10.0)
+        # PF(10) ≈ 0.082; asking for 0.01 needs distance 89 > max_dist.
+        with pytest.raises(ValueError, match="beyond max_dist"):
+            wrapped.inverse(0.01)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CallablePF(lambda d: 0.5 * np.exp(-d), max_dist=0.0)
+        with pytest.raises(ValueError):
+            CallablePF(lambda d: 0.5 * np.exp(-d), tolerance=0.0)
+
+    def test_algorithms_accept_custom_pf(self, rng):
+        # The whole pipeline must work on a user-defined PF: a Gaussian
+        # kernel, which has no library implementation.
+        pf = CallablePF(lambda d: 0.8 * np.exp(-(d**2) / 8.0), max_dist=100.0)
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 10)
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.6)
+        vo = PinocchioVO().select(objects, candidates, pf, 0.6)
+        assert vo.best_influence == na.best_influence
+
+
+class TestPairedBootstrap:
+    def test_clear_winner(self):
+        a = [0.5, 0.6, 0.55, 0.62, 0.58] * 4
+        b = [0.3, 0.35, 0.32, 0.31, 0.36] * 4
+        result = paired_bootstrap(a, b, samples=2_000, seed=1)
+        assert result.mean_difference > 0.2
+        assert result.win_probability > 0.99
+        assert result.significant()
+
+    def test_no_difference(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.5, 0.05, 40)
+        result = paired_bootstrap(a, a, samples=500)
+        assert result.mean_difference == 0.0
+        assert not result.significant()
+
+    def test_sign_symmetry(self):
+        a = [0.6, 0.7, 0.65]
+        b = [0.4, 0.5, 0.45]
+        ab = paired_bootstrap(a, b, samples=1_000, seed=3)
+        ba = paired_bootstrap(b, a, samples=1_000, seed=3)
+        assert ab.mean_difference == pytest.approx(-ba.mean_difference)
+        assert ab.ci_low == pytest.approx(-ba.ci_high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [])
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0], [1.0], confidence=1.0)
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0], [1.0], samples=0)
+
+    def test_ci_contains_mean(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(0.6, 0.1, 30)
+        b = rng.normal(0.5, 0.1, 30)
+        result = paired_bootstrap(a, b, samples=3_000, seed=7)
+        assert result.ci_low <= result.mean_difference <= result.ci_high

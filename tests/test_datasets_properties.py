@@ -1,0 +1,105 @@
+"""Property-based tests of the synthetic-data substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.city import CityModel
+from repro.datasets.counts import _norm_ppf, sample_checkin_counts
+from repro.datasets.generator import SyntheticConfig, generate_checkin_dataset
+
+
+class TestCountSamplerProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        avg=st.floats(5.0, 200.0),
+        sigma=st.floats(0.3, 1.5),
+        seed=st.integers(0, 10_000),
+    )
+    def test_calibration_hits_target_mean(self, avg, sigma, seed):
+        rng = np.random.default_rng(seed)
+        counts = sample_checkin_counts(
+            4_000, avg, 1, int(avg * 20), rng, sigma=sigma
+        )
+        assert counts.mean() == pytest.approx(avg, rel=0.2)
+        assert counts.min() >= 1
+        assert counts.max() <= int(avg * 20)
+
+    def test_norm_ppf_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        ps = np.linspace(0.001, 0.999, 101)
+        np.testing.assert_allclose(
+            _norm_ppf(ps), scipy_stats.norm.ppf(ps), atol=1e-6
+        )
+
+    def test_norm_ppf_symmetry(self):
+        ps = np.array([0.01, 0.2, 0.4])
+        np.testing.assert_allclose(
+            _norm_ppf(ps), -_norm_ppf(1.0 - ps), atol=1e-9
+        )
+
+
+class TestCityDensity:
+    def test_density_integrates_to_about_one(self, rng):
+        # The mixture density over the plane integrates to ~1 (hotspot
+        # mass may leak slightly past the extent; background is exact).
+        city = CityModel.random(40.0, 30.0, 4, rng, sigma_range=(1.0, 2.0))
+        xs = np.linspace(0, 40, 220)
+        ys = np.linspace(0, 30, 170)
+        gx, gy = np.meshgrid(xs, ys)
+        pts = np.column_stack([gx.ravel(), gy.ravel()])
+        density = city.density(pts)
+        integral = density.sum() * (xs[1] - xs[0]) * (ys[1] - ys[0])
+        assert integral == pytest.approx(1.0, rel=0.1)
+
+    def test_density_peaks_at_heavy_hotspot(self, rng):
+        from repro.datasets.city import Hotspot
+
+        city = CityModel(
+            20.0, 20.0,
+            [Hotspot(5.0, 5.0, 1.0, weight=10.0), Hotspot(15.0, 15.0, 1.0, weight=0.1)],
+            background_weight=0.01,
+        )
+        heavy = city.density(np.array([[5.0, 5.0]]))[0]
+        light = city.density(np.array([[15.0, 15.0]]))[0]
+        assert heavy > light
+
+    def test_samples_follow_density(self, rng):
+        city = CityModel.random(30.0, 30.0, 3, rng)
+        pts = city.sample_points(4_000, rng)
+        # Samples should concentrate where the density is high: the
+        # mean density at sampled points beats the uniform average.
+        sampled_density = city.density(pts).mean()
+        uniform = np.column_stack(
+            [rng.uniform(0, 30, 4_000), rng.uniform(0, 30, 4_000)]
+        )
+        uniform_density = city.density(uniform).mean()
+        assert sampled_density > uniform_density
+
+
+class TestAttractivenessCoupling:
+    @settings(max_examples=10, deadline=None)
+    @given(coupling=st.floats(0.1, 1.0), seed=st.integers(0, 1_000))
+    def test_coupling_orders_attractiveness_by_density(self, coupling, seed):
+        config = SyntheticConfig(
+            n_users=30, n_venues=300, seed=seed,
+            attractiveness_from_density=coupling,
+        )
+        world = generate_checkin_dataset(config)
+        density = world.city.density(world.dataset.venue_xy)
+        attr = world.venue_attractiveness
+        corr = np.corrcoef(np.argsort(np.argsort(density)),
+                           np.argsort(np.argsort(attr)))[0, 1]
+        # Rank correlation grows with coupling; at >= 0.1 it must be
+        # clearly positive.
+        assert corr > 0.05
+
+    def test_zero_coupling_uncorrelated(self):
+        config = SyntheticConfig(
+            n_users=30, n_venues=500, seed=3, attractiveness_from_density=0.0
+        )
+        world = generate_checkin_dataset(config)
+        density = world.city.density(world.dataset.venue_xy)
+        corr = np.corrcoef(density, world.venue_attractiveness)[0, 1]
+        assert abs(corr) < 0.2

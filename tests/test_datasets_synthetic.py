@@ -1,0 +1,147 @@
+"""Tests for the synthetic dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CityModel,
+    Hotspot,
+    SyntheticConfig,
+    foursquare_like,
+    generate_checkin_dataset,
+    gowalla_like,
+    sample_checkin_counts,
+    tiny_demo,
+)
+
+
+class TestCityModel:
+    def test_samples_within_extent(self, rng):
+        city = CityModel.random(20.0, 10.0, 4, rng)
+        pts = city.sample_points(500, rng)
+        assert np.all(pts[:, 0] >= 0) and np.all(pts[:, 0] <= 20)
+        assert np.all(pts[:, 1] >= 0) and np.all(pts[:, 1] <= 10)
+
+    def test_hotspots_attract_mass(self, rng):
+        hotspot = Hotspot(5.0, 5.0, 0.5, weight=10.0)
+        city = CityModel(10.0, 10.0, [hotspot], background_weight=0.01)
+        pts = city.sample_points(1000, rng)
+        near = np.hypot(pts[:, 0] - 5, pts[:, 1] - 5) < 2.0
+        assert near.mean() > 0.9
+
+    def test_zero_count(self, rng):
+        city = CityModel.random(10, 10, 2, rng)
+        assert city.sample_points(0, rng).shape == (0, 2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            CityModel(0.0, 10.0, [Hotspot(1, 1, 1)])
+        with pytest.raises(ValueError):
+            CityModel(10.0, 10.0, [])
+        with pytest.raises(ValueError):
+            Hotspot(0, 0, sigma=0.0)
+        with pytest.raises(ValueError):
+            CityModel.random(10, 10, 0, rng)
+
+
+class TestCheckinCounts:
+    def test_respects_bounds(self, rng):
+        counts = sample_checkin_counts(500, 40.0, 3, 400, rng)
+        assert counts.min() == 3
+        assert counts.max() == 400
+
+    def test_mean_close_to_target(self, rng):
+        counts = sample_checkin_counts(5_000, 72.0, 3, 661, rng)
+        assert counts.mean() == pytest.approx(72.0, rel=0.15)
+
+    def test_skewed_right(self, rng):
+        counts = sample_checkin_counts(5_000, 37.0, 2, 780, rng)
+        assert np.median(counts) < counts.mean()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_checkin_counts(0, 10, 1, 100, rng)
+        with pytest.raises(ValueError):
+            sample_checkin_counts(10, 200, 1, 100, rng)
+        with pytest.raises(ValueError):
+            sample_checkin_counts(10, 10, 1, 100, rng, sigma=0.0)
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = generate_checkin_dataset(SyntheticConfig(seed=5)).dataset
+        b = generate_checkin_dataset(SyntheticConfig(seed=5)).dataset
+        assert a.n_objects == b.n_objects
+        np.testing.assert_array_equal(a.venue_checkins, b.venue_checkins)
+        np.testing.assert_allclose(
+            a.objects[0].positions, b.objects[0].positions
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_checkin_dataset(SyntheticConfig(seed=5)).dataset
+        b = generate_checkin_dataset(SyntheticConfig(seed=6)).dataset
+        assert not np.array_equal(a.venue_checkins, b.venue_checkins)
+
+    def test_ground_truth_totals_match_checkins(self):
+        world = generate_checkin_dataset(SyntheticConfig(seed=9))
+        ds = world.dataset
+        assert ds.venue_checkins.sum() == sum(o.n_positions for o in ds.objects)
+
+    def test_world_exposes_latents(self):
+        world = generate_checkin_dataset(SyntheticConfig(seed=1))
+        assert len(world.user_anchors) == world.dataset.n_objects
+        assert world.venue_attractiveness.shape == (world.dataset.n_venues,)
+
+    def test_anchor_spread_localises_users(self):
+        wide = SyntheticConfig(seed=2, width_km=200, height_km=200,
+                               anchor_spread_km=None)
+        local = SyntheticConfig(seed=2, width_km=200, height_km=200,
+                                anchor_spread_km=5.0)
+        w_wide = generate_checkin_dataset(wide).dataset
+        w_local = generate_checkin_dataset(local).dataset
+        mbr_wide = np.mean([o.mbr.width for o in w_wide.objects])
+        mbr_local = np.mean([o.mbr.width for o in w_local.objects])
+        assert mbr_local < mbr_wide
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_users=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(anchors_per_user=(3, 2))
+        with pytest.raises(ValueError):
+            SyntheticConfig(gravity_gamma=0.0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(gps_noise_km=-1.0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(anchor_spread_km=0.0)
+
+
+class TestPresets:
+    def test_tiny_demo_shape(self):
+        ds = tiny_demo().dataset
+        assert ds.n_objects == 60
+        assert ds.n_venues == 150
+
+    def test_foursquare_like_scaled_stats(self):
+        ds = foursquare_like(scale=0.1).dataset
+        stats = ds.stats()
+        assert stats.user_count == pytest.approx(232, abs=2)
+        assert stats.venue_count == pytest.approx(559, abs=2)
+        # Check-in distribution matches Table 2's shape.
+        assert stats.min_checkins == 3
+        assert stats.max_checkins == 661
+        assert stats.avg_checkins == pytest.approx(72, rel=0.25)
+
+    def test_gowalla_like_scaled_stats(self):
+        ds = gowalla_like(scale=0.05).dataset
+        stats = ds.stats()
+        assert stats.user_count == pytest.approx(508, abs=2)
+        assert stats.min_checkins == 2
+        assert stats.max_checkins == 780
+        assert stats.avg_checkins == pytest.approx(37, rel=0.3)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            foursquare_like(scale=0.0)
+        with pytest.raises(ValueError):
+            gowalla_like(scale=1.5)

@@ -1,0 +1,82 @@
+"""Tests for the small evaluation-harness utilities and result types."""
+
+import time
+
+import pytest
+
+from repro.core.result import Instrumentation, LSResult
+from repro.eval.harness import ExperimentTimer, mean_and_std, run_repeated
+from repro.model import Candidate
+
+
+class TestExperimentTimer:
+    def test_measures_elapsed(self):
+        with ExperimentTimer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+
+    def test_elapsed_nan_inside_block(self):
+        with ExperimentTimer() as t:
+            assert t.elapsed != t.elapsed  # NaN until the block exits
+
+
+class TestMeanAndStd:
+    def test_values(self):
+        mean, std = mean_and_std([2.0, 4.0, 6.0])
+        assert mean == pytest.approx(4.0)
+        assert std == pytest.approx((8 / 3) ** 0.5)
+
+    def test_single_value(self):
+        mean, std = mean_and_std([7.0])
+        assert mean == 7.0
+        assert std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_and_std([])
+
+
+class TestRunRepeated:
+    def test_passes_round_index(self):
+        assert run_repeated(lambda i: i * 2, 4) == [0, 2, 4, 6]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_repeated(lambda i: i, 0)
+
+
+class TestInstrumentation:
+    def test_pruned_fraction(self):
+        inst = Instrumentation(
+            pairs_total=100, pairs_pruned_ia=40, pairs_pruned_nib=30
+        )
+        assert inst.pruned_fraction() == pytest.approx(0.7)
+
+    def test_pruned_fraction_empty(self):
+        assert Instrumentation().pruned_fraction() == 0.0
+
+    def test_position_savings(self):
+        inst = Instrumentation(positions_total=200, positions_evaluated=50)
+        assert inst.position_savings() == pytest.approx(0.75)
+
+    def test_position_savings_empty(self):
+        assert Instrumentation().position_savings() == 0.0
+
+
+class TestLSResult:
+    def _result(self):
+        return LSResult(
+            algorithm="X",
+            best_candidate=Candidate(0, 0.0, 0.0),
+            best_influence=9,
+            influences={0: 9, 1: 3, 2: 9, 3: 1},
+            elapsed_seconds=0.0,
+        )
+
+    def test_ranking_order_and_tiebreak(self):
+        ranking = self._result().ranking()
+        assert ranking == [(0, 9), (2, 9), (1, 3), (3, 1)]
+
+    def test_top_k(self):
+        assert self._result().top_k(2) == [0, 2]
+        assert self._result().top_k(10) == [0, 2, 1, 3]

@@ -1,0 +1,153 @@
+"""Smoke tests for every experiment driver (tiny parameters).
+
+These verify the drivers run end-to-end, produce well-formed results
+and render tables — the full-size runs live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+import repro.experiments as ex
+from repro.experiments.datasets import timing_world
+from repro.experiments.tables import TextTable
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        t = TextTable(["a", "bbbb"])
+        t.add_row([1, 0.5])
+        t.add_row(["xx", 123])
+        out = t.render(title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5
+        assert "0.500" in out
+
+    def test_row_width_mismatch(self):
+        t = TextTable(["a"])
+        with pytest.raises(ValueError):
+            t.add_row([1, 2])
+
+
+class TestTimingWorlds:
+    def test_cached(self):
+        assert timing_world("F") is timing_world("F")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            timing_world("X")
+
+
+class TestDrivers:
+    def test_table2(self):
+        r = ex.run_table2()
+        assert set(r.stats) == {"F", "G"}
+        assert "Table 2" in r.render()
+
+    def test_precision_small(self):
+        r = ex.run_precision_experiment(groups=2, candidates_per_group=60)
+        assert r.groups == 2
+        for method in ("Prime-ls", "Avg. range", "brnn*"):
+            for k in (10, 20, 30, 40, 50):
+                assert 0.0 <= r.precision[method][k] <= 1.0
+                assert r.avg_precision[method][k] <= r.precision[method][k] + 1e-9
+        assert "Table 3" in r.render() and "Table 4" in r.render()
+
+    def test_candidate_scalability_small(self):
+        r = ex.run_candidate_scalability("F", candidate_counts=(50, 100))
+        assert r.values == [50, 100]
+        for algo in ("NA", "PIN", "PIN-VO", "PIN-VO*"):
+            assert len(r.seconds[algo]) == 2
+            # NA work grows with candidate count.
+        assert r.positions["NA"][1] > r.positions["NA"][0]
+        assert "Scalability" in r.render()
+
+    def test_object_scalability_small(self):
+        r = ex.run_object_scalability("G", object_counts=(50, 100), n_candidates=80)
+        assert r.values == [50, 100]
+        assert r.positions["NA"][1] > r.positions["NA"][0]
+
+    def test_pruning_effect_small(self):
+        r = ex.run_pruning_effect("F", taus=(0.5,), n_candidates=100)
+        total = r.ia_fraction[0] + r.nib_fraction[0] + r.validated_fraction[0]
+        assert total == pytest.approx(1.0)
+        assert "Fig 10" in r.render()
+
+    def test_pruning_model_check_small(self):
+        r = ex.run_pruning_model_check(taus=(0.7,), n_objects=10, n_candidates=300)
+        assert r.analytic[0] == pytest.approx(r.measured[0], abs=0.05)
+        assert "Remark" in r.render()
+
+    def test_effect_n_groups_small(self):
+        r = ex.run_effect_n_groups("G", n_candidates=60)
+        assert len(r.labels) == 5
+        assert sum(r.group_sizes) == timing_world("G").dataset.n_objects
+        assert "Fig 11" in r.render()
+
+    def test_effect_n_resampled_small(self):
+        r = ex.run_effect_n_resampled(
+            "G", position_counts=(10, 20), n_candidates=60
+        )
+        assert r.labels == ["n=10", "n=20"]
+        # More positions => more influenceable objects.
+        assert r.max_influence[1] >= r.max_influence[0]
+
+    def test_effect_tau_small(self):
+        r = ex.run_effect_tau("F", taus=(0.3, 0.8), n_candidates=60)
+        # Maximum influence is non-increasing in tau.
+        assert r.max_influence[0] >= r.max_influence[1]
+        assert "Fig 12" in r.render()
+
+    def test_n_tau_levelcurve_small(self):
+        r = ex.run_n_tau_levelcurve(
+            "G", curve_ns=(10, 20), check_ns=(15,), n_candidates=60,
+            fit_degree=1,
+        )
+        assert len(r.taus) == 2
+        # Higher n tolerates a higher tau at equal influence.
+        assert r.taus[1] >= r.taus[0] - 0.05
+        assert "Fig 13" in r.render()
+
+    def test_effect_lambda_small(self):
+        r = ex.run_effect_lambda("F", lambdas=(0.75, 1.25), n_candidates=60)
+        # Steeper decay => less influence.
+        assert r.max_influence[0] >= r.max_influence[1]
+        assert "Fig 14" in r.render()
+
+    def test_effect_rho_small(self):
+        r = ex.run_effect_rho("F", rhos=(0.5, 0.9), n_candidates=60)
+        # Stronger behaviour factor => more influence.
+        assert r.max_influence[1] >= r.max_influence[0]
+        assert "Fig 15" in r.render()
+
+    def test_sampling_tradeoff_small(self):
+        r = ex.run_sampling_tradeoff(
+            samples_per_day=(2, 24), days=3, n_objects=25, n_candidates=40
+        )
+        assert r.samples_per_day == [2, 24]
+        assert len(r.top10_overlap) == 2
+        assert all(0.0 <= v <= 1.0 for v in r.top10_overlap)
+        assert "sampling tradeoff" in r.render()
+
+    def test_pf_variants_small(self):
+        r = ex.run_pf_variants("F", n_candidates=60)
+        assert r.names == ["Logsig", "Convex", "Concave", "Linear"]
+        assert all(r.exact), "PIN-VO must stay exact under every PF"
+        assert "Fig 16" in r.render()
+
+
+class TestFindTau:
+    def test_binary_search_converges(self):
+        from repro.experiments.n_tau import find_tau_for_influence
+        from repro.prob import PowerLawPF
+
+        world = timing_world("F")
+        ds = world.dataset
+        rng = np.random.default_rng(0)
+        cands, _ = ds.sample_candidates(40, rng)
+        pf = PowerLawPF()
+        from repro.core.pinocchio_vo import PinocchioVO
+
+        target = PinocchioVO().select(ds.objects, cands, pf, 0.6).best_influence
+        tau, influence = find_tau_for_influence(ds.objects, cands, pf, target)
+        assert abs(influence - target) <= max(2, target * 0.02)

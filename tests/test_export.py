@@ -1,0 +1,57 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+
+import pytest
+
+import repro.experiments as ex
+from repro.experiments.export import export_result, result_rows
+
+
+class TestResultRows:
+    def test_pruning_effect_result(self):
+        r = ex.run_pruning_effect("F", taus=(0.5, 0.7), n_candidates=50)
+        header, rows = result_rows(r)
+        assert "taus" in header
+        assert "ia_fraction" in header
+        assert len(rows) == 2
+        # scalar field repeated per row
+        assert "dataset" in header
+        assert rows[0][header.index("dataset")] == rows[1][header.index("dataset")]
+
+    def test_effect_tau_result(self):
+        r = ex.run_effect_tau("F", taus=(0.3, 0.8), n_candidates=50)
+        header, rows = result_rows(r)
+        assert len(rows) == 2
+        tau_col = header.index("taus")
+        assert [row[tau_col] for row in rows] == [0.3, 0.8]
+
+    def test_rejects_non_dataclass(self):
+        with pytest.raises(TypeError):
+            result_rows({"not": "a dataclass"})
+
+    def test_rejects_result_without_series(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Empty:
+            name: str = "x"
+
+        with pytest.raises(ValueError):
+            result_rows(Empty())
+
+
+class TestExportResult:
+    def test_writes_readable_csv(self, tmp_path):
+        r = ex.run_pruning_effect("F", taus=(0.5,), n_candidates=50)
+        out = export_result(r, tmp_path / "fig10.csv")
+        assert out.exists()
+        with open(out, newline="") as f:
+            rows = list(csv.DictReader(f))
+        assert len(rows) == 1
+        assert float(rows[0]["ia_fraction"]) >= 0.0
+
+    def test_creates_parent_directories(self, tmp_path):
+        r = ex.run_effect_tau("F", taus=(0.5,), n_candidates=40)
+        out = export_result(r, tmp_path / "deep" / "nested" / "fig12.csv")
+        assert out.exists()

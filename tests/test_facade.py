@@ -1,0 +1,106 @@
+"""Tests for the public facade (repro.__init__)."""
+
+import pytest
+
+import repro
+from repro import (
+    ALGORITHMS,
+    make_algorithm,
+    rank_candidates,
+    select_location,
+)
+
+from tests.helpers import make_candidates, make_objects
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_present(self):
+        paper = {"NA", "PIN", "PIN-VO", "PIN-VO*", "BRNN*", "RANGE"}
+        assert paper <= set(ALGORITHMS)
+        assert "GRID" in ALGORITHMS  # grid-partition extension
+
+    def test_make_algorithm(self):
+        algo = make_algorithm("PIN")
+        assert algo.name == "PIN"
+
+    def test_make_algorithm_with_kwargs(self):
+        algo = make_algorithm("PIN-VO", kernel="scalar")
+        assert algo.kernel == "scalar"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_algorithm("DIJKSTRA")
+
+    def test_version_exposed(self):
+        assert repro.__version__
+
+
+class TestSelectLocation:
+    def test_defaults(self, rng):
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 8)
+        result = select_location(objects, candidates)
+        assert result.algorithm == "PIN-VO"
+        assert 0 <= result.best_influence <= 10
+
+    def test_all_exact_algorithms_agree(self, rng):
+        objects = make_objects(rng, 12)
+        candidates = make_candidates(rng, 10)
+        results = {
+            name: select_location(objects, candidates, tau=0.6, algorithm=name)
+            for name in ("NA", "PIN", "PIN-VO", "PIN-VO*")
+        }
+        reference = results["NA"].best_influence
+        for name, result in results.items():
+            assert result.best_influence == reference, name
+
+    def test_custom_pf(self, rng):
+        from repro.prob import ExponentialPF
+
+        objects = make_objects(rng, 5)
+        candidates = make_candidates(rng, 5)
+        result = select_location(
+            objects, candidates, pf=ExponentialPF(), tau=0.3
+        )
+        assert result.best_influence >= 0
+
+
+class TestRankCandidates:
+    def test_full_ranking(self, rng):
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 12)
+        ranking = rank_candidates(objects, candidates, tau=0.5)
+        assert len(ranking) == 12
+        values = [v for _, v in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_vo(self, rng):
+        objects = make_objects(rng, 3)
+        candidates = make_candidates(rng, 3)
+        with pytest.raises(ValueError, match="full ranking"):
+            rank_candidates(objects, candidates, algorithm="PIN-VO")
+
+    def test_na_and_pin_rankings_identical(self, rng):
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 10)
+        assert rank_candidates(objects, candidates, algorithm="NA") == (
+            rank_candidates(objects, candidates, algorithm="PIN")
+        )
+
+
+class TestInputValidation:
+    def test_non_finite_candidate_rejected(self, rng):
+        from repro.model import Candidate
+
+        objects = make_objects(rng, 3)
+        candidates = make_candidates(rng, 2) + [Candidate(99, float("nan"), 1.0)]
+        with pytest.raises(ValueError, match="non-finite"):
+            select_location(objects, candidates)
+
+    def test_infinite_candidate_rejected(self, rng):
+        from repro.model import Candidate
+
+        objects = make_objects(rng, 3)
+        candidates = [Candidate(0, float("inf"), 0.0)]
+        with pytest.raises(ValueError, match="non-finite"):
+            select_location(objects, candidates, algorithm="NA")

@@ -1,0 +1,108 @@
+"""Tests for repro.geo.distance."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.distance import (
+    EARTH_RADIUS_KM,
+    euclidean,
+    euclidean_many,
+    haversine,
+    haversine_many,
+    pairwise_euclidean,
+    project_lonlat,
+    unproject_xy,
+)
+
+finite_coord = st.floats(-1e3, 1e3, allow_nan=False)
+
+
+class TestEuclidean:
+    def test_scalar_345(self):
+        assert euclidean(0, 0, 3, 4) == 5.0
+
+    def test_many_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        xy = rng.uniform(-10, 10, size=(50, 2))
+        d = euclidean_many(xy, 1.0, -2.0)
+        for i in range(50):
+            assert d[i] == pytest.approx(euclidean(xy[i, 0], xy[i, 1], 1.0, -2.0))
+
+    def test_pairwise_shape_and_values(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 3.0], [0.0, 4.0], [3.0, 4.0]])
+        d = pairwise_euclidean(a, b)
+        assert d.shape == (2, 3)
+        assert d[0, 0] == pytest.approx(3.0)
+        assert d[0, 2] == pytest.approx(5.0)
+
+    @given(finite_coord, finite_coord, finite_coord, finite_coord)
+    def test_symmetry(self, x1, y1, x2, y2):
+        assert euclidean(x1, y1, x2, y2) == euclidean(x2, y2, x1, y1)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine(103.8, 1.35, 103.8, 1.35) == 0.0
+
+    def test_one_degree_longitude_at_equator(self):
+        d = haversine(0.0, 0.0, 1.0, 0.0)
+        assert d == pytest.approx(2 * math.pi * EARTH_RADIUS_KM / 360, rel=1e-6)
+
+    def test_one_degree_latitude(self):
+        d = haversine(10.0, 45.0, 10.0, 46.0)
+        assert d == pytest.approx(2 * math.pi * EARTH_RADIUS_KM / 360, rel=1e-6)
+
+    def test_antipodal_is_half_circumference(self):
+        d = haversine(0.0, 0.0, 180.0, 0.0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_many_matches_scalar(self):
+        lonlat = np.array([[103.8, 1.35], [103.9, 1.30], [104.0, 1.40]])
+        d = haversine_many(lonlat, 103.85, 1.32)
+        for i in range(3):
+            assert d[i] == pytest.approx(
+                haversine(lonlat[i, 0], lonlat[i, 1], 103.85, 1.32)
+            )
+
+
+class TestProjection:
+    def test_round_trip(self):
+        lonlat = np.array([[103.8, 1.35], [103.95, 1.20], [103.60, 1.48]])
+        xy = project_lonlat(lonlat, 103.8, 1.35)
+        back = unproject_xy(xy, 103.8, 1.35)
+        np.testing.assert_allclose(back, lonlat, atol=1e-12)
+
+    def test_origin_maps_to_zero(self):
+        xy = project_lonlat(np.array([[103.8, 1.35]]), 103.8, 1.35)
+        np.testing.assert_allclose(xy, [[0.0, 0.0]], atol=1e-12)
+
+    def test_projection_close_to_haversine_at_city_scale(self):
+        # Singapore-scale points: equirectangular error << 1%.
+        rng = np.random.default_rng(3)
+        lonlat = np.column_stack(
+            [rng.uniform(103.6, 104.0, 30), rng.uniform(1.2, 1.5, 30)]
+        )
+        origin = (103.8, 1.35)
+        xy = project_lonlat(lonlat, *origin)
+        for i in range(30):
+            for j in range(i + 1, 30):
+                true = haversine(*lonlat[i], *lonlat[j])
+                approx = math.hypot(*(xy[i] - xy[j]))
+                if true > 0.1:
+                    assert abs(approx - true) / true < 0.01
+
+    @settings(max_examples=50)
+    @given(
+        st.floats(-179, 179, allow_nan=False),
+        st.floats(-60, 60, allow_nan=False),
+    )
+    def test_round_trip_property(self, lon, lat):
+        pts = np.array([[lon + 0.05, lat - 0.02]])
+        xy = project_lonlat(pts, lon, lat)
+        back = unproject_xy(xy, lon, lat)
+        np.testing.assert_allclose(back, pts, atol=1e-9)

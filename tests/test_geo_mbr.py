@@ -1,0 +1,153 @@
+"""Tests for repro.geo.mbr — including the minDist/maxDist bounds the
+pruning rules rely on."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import MBR, Point
+
+coord = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+def random_mbr_and_point(data):
+    x1, x2 = sorted((data.draw(coord), data.draw(coord)))
+    y1, y2 = sorted((data.draw(coord), data.draw(coord)))
+    return MBR(x1, y1, x2, y2), data.draw(coord), data.draw(coord)
+
+
+class TestConstruction:
+    def test_from_points(self):
+        mbr = MBR.from_points([Point(1, 5), Point(3, 2), Point(-1, 4)])
+        assert mbr.as_tuple() == (-1, 2, 3, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            MBR.from_points([])
+
+    def test_from_array(self):
+        mbr = MBR.from_array(np.array([[0.0, 1.0], [2.0, -1.0]]))
+        assert mbr.as_tuple() == (0.0, -1.0, 2.0, 1.0)
+
+    def test_from_array_empty_raises(self):
+        with pytest.raises(ValueError):
+            MBR.from_array(np.empty((0, 2)))
+
+    def test_from_point_degenerate(self):
+        mbr = MBR.from_point(Point(2, 3))
+        assert mbr.is_point()
+        assert mbr.area == 0.0
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            MBR(5, 0, 1, 2)
+
+    def test_properties(self):
+        mbr = MBR(0, 0, 4, 2)
+        assert mbr.width == 4
+        assert mbr.height == 2
+        assert mbr.area == 8
+        assert mbr.center == Point(2, 1)
+        assert mbr.half_diagonal == pytest.approx(math.hypot(4, 2) / 2)
+
+    def test_corners_order(self):
+        corners = MBR(0, 0, 2, 1).corners()
+        assert corners == [Point(0, 0), Point(2, 0), Point(2, 1), Point(0, 1)]
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        mbr = MBR(0, 0, 1, 1)
+        assert mbr.contains_point(0, 0)
+        assert mbr.contains_point(1, 1)
+        assert not mbr.contains_point(1.0001, 0.5)
+
+    def test_contains_mbr(self):
+        outer = MBR(0, 0, 10, 10)
+        assert outer.contains_mbr(MBR(1, 1, 9, 9))
+        assert outer.contains_mbr(outer)
+        assert not outer.contains_mbr(MBR(5, 5, 11, 6))
+
+    def test_intersects(self):
+        a = MBR(0, 0, 2, 2)
+        assert a.intersects(MBR(1, 1, 3, 3))
+        assert a.intersects(MBR(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(MBR(2.1, 0, 3, 1))
+
+    def test_union(self):
+        u = MBR(0, 0, 1, 1).union(MBR(2, -1, 3, 0.5))
+        assert u.as_tuple() == (0, -1, 3, 1)
+
+    def test_expanded(self):
+        e = MBR(1, 1, 2, 2).expanded(0.5)
+        assert e.as_tuple() == (0.5, 0.5, 2.5, 2.5)
+
+    def test_expanded_negative_raises(self):
+        with pytest.raises(ValueError):
+            MBR(0, 0, 1, 1).expanded(-0.1)
+
+    def test_enlargement(self):
+        base = MBR(0, 0, 1, 1)
+        assert base.enlargement(MBR(0.2, 0.2, 0.8, 0.8)) == 0.0
+        assert base.enlargement(MBR(0, 0, 2, 1)) == pytest.approx(1.0)
+
+
+class TestDistances:
+    def test_min_dist_inside_is_zero(self):
+        assert MBR(0, 0, 2, 2).min_dist(1, 1) == 0.0
+
+    def test_min_dist_side(self):
+        assert MBR(0, 0, 2, 2).min_dist(3, 1) == 1.0
+
+    def test_min_dist_corner(self):
+        assert MBR(0, 0, 2, 2).min_dist(5, 6) == pytest.approx(5.0)
+
+    def test_max_dist_center(self):
+        mbr = MBR(0, 0, 4, 2)
+        assert mbr.max_dist(2, 1) == pytest.approx(mbr.half_diagonal)
+
+    def test_max_dist_from_corner(self):
+        assert MBR(0, 0, 3, 4).max_dist(0, 0) == pytest.approx(5.0)
+
+    def test_vectorised_match_scalar(self):
+        mbr = MBR(-1, -2, 3, 4)
+        rng = np.random.default_rng(1)
+        xy = rng.uniform(-10, 10, size=(100, 2))
+        min_many = mbr.min_dist_many(xy)
+        max_many = mbr.max_dist_many(xy)
+        for i in range(100):
+            assert min_many[i] == pytest.approx(mbr.min_dist(*xy[i]))
+            assert max_many[i] == pytest.approx(mbr.max_dist(*xy[i]))
+
+    @given(st.data())
+    def test_min_dist_is_lower_bound(self, data):
+        mbr, qx, qy = random_mbr_and_point(data)
+        # Any point inside the MBR is at least min_dist away.
+        inner = data.draw(st.floats(0, 1)), data.draw(st.floats(0, 1))
+        px = mbr.min_x + inner[0] * mbr.width
+        py = mbr.min_y + inner[1] * mbr.height
+        d = math.hypot(px - qx, py - qy)
+        assert d >= mbr.min_dist(qx, qy) - 1e-9
+
+    @given(st.data())
+    def test_max_dist_is_upper_bound(self, data):
+        mbr, qx, qy = random_mbr_and_point(data)
+        inner = data.draw(st.floats(0, 1)), data.draw(st.floats(0, 1))
+        px = mbr.min_x + inner[0] * mbr.width
+        py = mbr.min_y + inner[1] * mbr.height
+        d = math.hypot(px - qx, py - qy)
+        assert d <= mbr.max_dist(qx, qy) + 1e-9
+
+    @given(st.data())
+    def test_min_le_max(self, data):
+        mbr, qx, qy = random_mbr_and_point(data)
+        assert mbr.min_dist(qx, qy) <= mbr.max_dist(qx, qy) + 1e-12
+
+    def test_degenerate_point_mbr_distances(self):
+        mbr = MBR(2, 3, 2, 3)
+        assert mbr.min_dist(2, 3) == 0.0
+        assert mbr.min_dist(5, 7) == pytest.approx(5.0)
+        assert mbr.max_dist(5, 7) == pytest.approx(5.0)

@@ -1,0 +1,52 @@
+"""Tests for repro.geo.point."""
+
+import math
+
+import pytest
+
+from repro.geo import Point
+
+
+class TestPoint:
+    def test_distance_to_self_is_zero(self):
+        p = Point(3.0, 4.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_distance_345(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.0, 7.25)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_translated_leaves_original(self):
+        p = Point(1, 2)
+        p.translated(5, 5)
+        assert p == Point(1, 2)
+
+    def test_as_tuple(self):
+        assert Point(1.25, -2.5).as_tuple() == (1.25, -2.5)
+
+    def test_iter_unpacking(self):
+        x, y = Point(7.0, 8.0)
+        assert (x, y) == (7.0, 8.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1.0
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_triangle_inequality(self):
+        a, b, c = Point(0, 0), Point(5, 1), Point(2, 9)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-12
+
+    def test_distance_matches_hypot(self):
+        a, b = Point(-1.0, 2.0), Point(4.0, -3.5)
+        assert a.distance_to(b) == pytest.approx(math.hypot(5.0, 5.5))

@@ -1,0 +1,98 @@
+"""Tests for the grid-partition exact solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid_ls import GridPartitionLS, optimal_grid_size
+from repro.core.naive import NaiveAlgorithm
+from repro.geo.mbr import MBR
+from repro.prob import PowerLawPF
+
+from tests.helpers import make_candidates, make_objects
+
+
+class TestRectToRectDistances:
+    def test_min_dist_rect_disjoint(self):
+        a = MBR(0, 0, 1, 1)
+        b = MBR(4, 5, 6, 7)
+        assert a.min_dist_rect(b) == pytest.approx(np.hypot(3, 4))
+        assert b.min_dist_rect(a) == pytest.approx(np.hypot(3, 4))
+
+    def test_min_dist_rect_overlapping_is_zero(self):
+        assert MBR(0, 0, 2, 2).min_dist_rect(MBR(1, 1, 3, 3)) == 0.0
+
+    def test_max_dist_rect(self):
+        a = MBR(0, 0, 1, 1)
+        b = MBR(2, 2, 3, 3)
+        assert a.max_dist_rect(b) == pytest.approx(np.hypot(3, 3))
+        assert b.max_dist_rect(a) == pytest.approx(np.hypot(3, 3))
+
+    def test_rect_distances_bound_point_distances(self, rng):
+        a = MBR(0, 0, 3, 2)
+        b = MBR(5, 1, 8, 6)
+        pa = np.column_stack(
+            [rng.uniform(a.min_x, a.max_x, 200), rng.uniform(a.min_y, a.max_y, 200)]
+        )
+        pb = np.column_stack(
+            [rng.uniform(b.min_x, b.max_x, 200), rng.uniform(b.min_y, b.max_y, 200)]
+        )
+        d = np.hypot(pa[:, 0] - pb[:, 0], pa[:, 1] - pb[:, 1])
+        assert np.all(d >= a.min_dist_rect(b) - 1e-9)
+        assert np.all(d <= a.max_dist_rect(b) + 1e-9)
+
+
+class TestGridPartitionLS:
+    @pytest.mark.parametrize("grid_size", [1, 4, 16])
+    def test_matches_naive(self, pf, rng, grid_size):
+        objects = make_objects(rng, 20)
+        candidates = make_candidates(rng, 30)
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.7)
+        grid = GridPartitionLS(grid_size=grid_size).select(
+            objects, candidates, pf, 0.7
+        )
+        assert grid.best_influence == na.best_influence
+
+    def test_invalid_grid_size(self):
+        with pytest.raises(ValueError):
+            GridPartitionLS(grid_size=0)
+
+    def test_skips_cells(self, pf, rng):
+        # Inferior far-away candidate clusters should be skipped whole.
+        objects = make_objects(rng, 30, extent=10.0, spread=1.0)
+        near = make_candidates(rng, 10, extent=10.0)
+        far = [type(near[0])(100 + j, 500.0 + j % 5, 500.0 + j // 5) for j in range(25)]
+        result = GridPartitionLS(grid_size=8).select(objects, near + far, pf, 0.7)
+        assert result.instrumentation.candidates_skipped_strategy1 > 0
+
+    def test_single_candidate(self, pf, rng):
+        objects = make_objects(rng, 5)
+        candidates = make_candidates(rng, 1)
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.5)
+        grid = GridPartitionLS().select(objects, candidates, pf, 0.5)
+        assert grid.best_influence == na.best_influence
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2_000),
+        tau=st.floats(0.1, 0.9),
+        grid_size=st.integers(1, 10),
+    )
+    def test_random_instances_property(self, seed, tau, grid_size):
+        pf = PowerLawPF()
+        rng = np.random.default_rng(seed)
+        objects = make_objects(rng, 10, extent=25.0, n_range=(1, 20))
+        candidates = make_candidates(rng, 15, extent=25.0)
+        na = NaiveAlgorithm().select(objects, candidates, pf, tau)
+        grid = GridPartitionLS(grid_size=grid_size).select(
+            objects, candidates, pf, tau
+        )
+        assert grid.best_influence == na.best_influence
+
+
+class TestHeuristics:
+    def test_optimal_grid_size(self):
+        assert optimal_grid_size(4) == 1
+        assert optimal_grid_size(400) == 10
+        assert optimal_grid_size(0) == 1

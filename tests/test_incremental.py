@@ -1,0 +1,186 @@
+"""Tests for the incremental PRIME-LS index (§7 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalPrimeLS
+from repro.core.naive import NaiveAlgorithm
+from repro.model import Candidate, MovingObject
+from repro.prob import LinearPF
+
+from tests.helpers import make_candidates, make_objects
+
+
+def batch_influences(objects, candidates, pf, tau):
+    return NaiveAlgorithm().select(objects, candidates, pf, tau).influences
+
+
+class TestBasics:
+    def test_matches_batch_after_bulk_add(self, pf, rng):
+        objects = make_objects(rng, 15)
+        candidates = make_candidates(rng, 10)
+        index = IncrementalPrimeLS(pf, 0.6)
+        for obj in objects:
+            index.add_object(obj)
+        for cand in candidates:
+            index.add_candidate(cand)
+        expected = batch_influences(objects, candidates, pf, 0.6)
+        for j, cand in enumerate(candidates):
+            assert index.influence_of(cand.candidate_id) == expected[j]
+
+    def test_order_of_adds_is_irrelevant(self, pf, rng):
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 8)
+        a = IncrementalPrimeLS(pf, 0.5)
+        for cand in candidates:
+            a.add_candidate(cand)
+        for obj in objects:
+            a.add_object(obj)
+        b = IncrementalPrimeLS(pf, 0.5)
+        for obj in objects:
+            b.add_object(obj)
+        for cand in candidates:
+            b.add_candidate(cand)
+        for cand in candidates:
+            assert a.influence_of(cand.candidate_id) == b.influence_of(
+                cand.candidate_id
+            )
+
+    def test_optimal_location_matches_batch(self, pf, rng):
+        objects = make_objects(rng, 12)
+        candidates = make_candidates(rng, 9)
+        index = IncrementalPrimeLS(pf, 0.7)
+        for obj in objects:
+            index.add_object(obj)
+        for cand in candidates:
+            index.add_candidate(cand)
+        _, influence = index.optimal_location()
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.7)
+        assert influence == na.best_influence
+
+    def test_optimal_with_no_candidates_raises(self, pf):
+        index = IncrementalPrimeLS(pf, 0.5)
+        with pytest.raises(ValueError):
+            index.optimal_location()
+
+    def test_invalid_tau(self, pf):
+        with pytest.raises(ValueError):
+            IncrementalPrimeLS(pf, 1.0)
+
+
+class TestUpdates:
+    def test_remove_object_rolls_back(self, pf, rng):
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 6)
+        index = IncrementalPrimeLS(pf, 0.6)
+        for obj in objects:
+            index.add_object(obj)
+        for cand in candidates:
+            index.add_candidate(cand)
+        index.remove_object(objects[0].object_id)
+        expected = batch_influences(objects[1:], candidates, pf, 0.6)
+        for j, cand in enumerate(candidates):
+            assert index.influence_of(cand.candidate_id) == expected[j]
+
+    def test_remove_candidate(self, pf, rng):
+        objects = make_objects(rng, 8)
+        candidates = make_candidates(rng, 5)
+        index = IncrementalPrimeLS(pf, 0.6)
+        for obj in objects:
+            index.add_object(obj)
+        for cand in candidates:
+            index.add_candidate(cand)
+        index.remove_candidate(candidates[2].candidate_id)
+        assert index.n_candidates == 4
+        with pytest.raises(KeyError):
+            index.influence_of(candidates[2].candidate_id)
+
+    def test_update_object_replaces_positions(self, pf, rng):
+        objects = make_objects(rng, 5)
+        candidates = make_candidates(rng, 5)
+        index = IncrementalPrimeLS(pf, 0.6)
+        for obj in objects:
+            index.add_object(obj)
+        for cand in candidates:
+            index.add_candidate(cand)
+        moved = MovingObject(
+            objects[0].object_id, rng.uniform(0, 30, size=(7, 2))
+        )
+        index.update_object(moved)
+        new_objects = [moved] + objects[1:]
+        expected = batch_influences(new_objects, candidates, pf, 0.6)
+        for j, cand in enumerate(candidates):
+            assert index.influence_of(cand.candidate_id) == expected[j]
+
+    def test_interleaved_updates_match_batch(self, pf, rng):
+        objects = make_objects(rng, 20)
+        candidates = make_candidates(rng, 10)
+        index = IncrementalPrimeLS(pf, 0.65)
+        live_objects: dict[int, MovingObject] = {}
+        live_candidates: dict[int, Candidate] = {}
+        script = [
+            ("add_obj", objects[0]), ("add_obj", objects[1]),
+            ("add_cand", candidates[0]), ("add_cand", candidates[1]),
+            ("add_obj", objects[2]), ("rm_obj", objects[1]),
+            ("add_cand", candidates[2]), ("rm_cand", candidates[0]),
+            ("add_obj", objects[3]), ("add_obj", objects[4]),
+            ("add_cand", candidates[3]), ("rm_obj", objects[0]),
+        ]
+        for action, item in script:
+            if action == "add_obj":
+                index.add_object(item)
+                live_objects[item.object_id] = item
+            elif action == "rm_obj":
+                index.remove_object(item.object_id)
+                del live_objects[item.object_id]
+            elif action == "add_cand":
+                index.add_candidate(item)
+                live_candidates[item.candidate_id] = item
+            else:
+                index.remove_candidate(item.candidate_id)
+                del live_candidates[item.candidate_id]
+        cands = list(live_candidates.values())
+        expected = batch_influences(list(live_objects.values()), cands, pf, 0.65)
+        for j, cand in enumerate(cands):
+            assert index.influence_of(cand.candidate_id) == expected[j]
+
+
+class TestErrorsAndEdgeCases:
+    def test_duplicate_ids_rejected(self, pf, rng):
+        index = IncrementalPrimeLS(pf, 0.5)
+        obj = make_objects(rng, 1)[0]
+        cand = make_candidates(rng, 1)[0]
+        index.add_object(obj)
+        index.add_candidate(cand)
+        with pytest.raises(KeyError):
+            index.add_object(obj)
+        with pytest.raises(KeyError):
+            index.add_candidate(cand)
+
+    def test_unknown_removals_rejected(self, pf):
+        index = IncrementalPrimeLS(pf, 0.5)
+        with pytest.raises(KeyError):
+            index.remove_object(99)
+        with pytest.raises(KeyError):
+            index.remove_candidate(99)
+
+    def test_dead_objects_never_influence(self, rng):
+        pf = LinearPF(rho=0.5, scale=10.0)
+        index = IncrementalPrimeLS(pf, 0.9)
+        dead = MovingObject(0, np.array([[1.0, 1.0]]))  # 1 position, cap 0.5
+        index.add_object(dead)
+        cand = Candidate(0, 1.0, 1.0)
+        assert index.add_candidate(cand) == 0
+        assert index.counters.dead_objects == 1
+        index.remove_object(0)  # removal of a dead object works
+        assert index.n_objects == 0
+
+    def test_removed_candidate_tombstone_in_rtree_is_ignored(self, pf, rng):
+        index = IncrementalPrimeLS(pf, 0.5)
+        cand = make_candidates(rng, 1)[0]
+        index.add_candidate(cand)
+        index.remove_candidate(cand.candidate_id)
+        # Adding an object must not resurrect the removed candidate.
+        index.add_object(make_objects(rng, 1)[0])
+        with pytest.raises(KeyError):
+            index.influence_of(cand.candidate_id)

@@ -1,0 +1,107 @@
+"""Tests for the uniform grid index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import MBR
+from repro.index import UniformGrid
+from repro.index.protocol import SpatialIndex
+
+
+@pytest.fixture(scope="module")
+def point_cloud():
+    rng = np.random.default_rng(5)
+    return rng.uniform(-50, 50, size=(300, 2))
+
+
+@pytest.fixture(scope="module")
+def grid(point_cloud):
+    g = UniformGrid(cell_size=7.0)
+    for i, (x, y) in enumerate(point_cloud):
+        g.insert(i, float(x), float(y))
+    return g
+
+
+class TestGrid:
+    def test_protocol_conformance(self, grid):
+        assert isinstance(grid, SpatialIndex)
+
+    def test_len(self, grid, point_cloud):
+        assert len(grid) == len(point_cloud)
+
+    def test_cell_size_validation(self):
+        with pytest.raises(ValueError):
+            UniformGrid(cell_size=0.0)
+
+    def test_insert_non_finite_raises(self):
+        g = UniformGrid()
+        with pytest.raises(ValueError):
+            g.insert(0, float("nan"), 0.0)
+
+    def test_rect_query_matches_brute(self, grid, point_cloud):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            x1, x2 = sorted(rng.uniform(-50, 50, 2))
+            y1, y2 = sorted(rng.uniform(-50, 50, 2))
+            rect = MBR(x1, y1, x2, y2)
+            expected = sorted(
+                i for i, (x, y) in enumerate(point_cloud) if rect.contains_point(x, y)
+            )
+            assert sorted(grid.query_rect(rect)) == expected
+
+    def test_circle_query_matches_brute(self, grid, point_cloud):
+        rng = np.random.default_rng(12)
+        for _ in range(20):
+            cx, cy = rng.uniform(-50, 50, 2)
+            r = rng.uniform(0, 30)
+            expected = sorted(
+                i
+                for i, (x, y) in enumerate(point_cloud)
+                if (x - cx) ** 2 + (y - cy) ** 2 <= r * r
+            )
+            assert sorted(grid.query_circle(cx, cy, r)) == expected
+
+    def test_negative_radius_empty(self, grid):
+        assert grid.query_circle(0, 0, -0.5) == []
+
+    def test_nearest_matches_brute(self, grid, point_cloud):
+        rng = np.random.default_rng(13)
+        for _ in range(20):
+            qx, qy = rng.uniform(-80, 80, 2)
+            nid, nd = grid.nearest(qx, qy)
+            d = np.hypot(point_cloud[:, 0] - qx, point_cloud[:, 1] - qy)
+            assert nd == pytest.approx(d.min())
+            assert d[nid] == pytest.approx(d.min())
+
+    def test_nearest_empty_raises(self):
+        with pytest.raises(ValueError):
+            UniformGrid().nearest(0, 0)
+
+    def test_nearest_far_query(self, grid, point_cloud):
+        nid, nd = grid.nearest(500.0, 500.0)
+        d = np.hypot(point_cloud[:, 0] - 500, point_cloud[:, 1] - 500)
+        assert nd == pytest.approx(d.min())
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 500),
+        cell=st.floats(0.5, 20.0),
+        count=st.integers(1, 80),
+    )
+    def test_grid_vs_rtree_agreement(self, seed, cell, count):
+        from repro.index import RTree
+
+        rng = np.random.default_rng(seed)
+        xy = rng.uniform(-30, 30, size=(count, 2))
+        g = UniformGrid(cell_size=cell)
+        t = RTree.bulk_load(xy)
+        for i, (x, y) in enumerate(xy):
+            g.insert(i, float(x), float(y))
+        rect = MBR(-10, -5, 12, 18)
+        assert sorted(g.query_rect(rect)) == sorted(t.query_rect(rect))
+        assert sorted(g.query_circle(0, 0, 15)) == sorted(t.query_circle(0, 0, 15))
+        gn = g.nearest(3.3, -2.2)
+        tn = t.nearest(3.3, -2.2)
+        assert gn[1] == pytest.approx(tn[1])

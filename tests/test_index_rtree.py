@@ -1,0 +1,231 @@
+"""Tests for the from-scratch R-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import MBR
+from repro.index import RTree
+
+
+def brute_rect(xy, rect):
+    return sorted(
+        i for i, (x, y) in enumerate(xy) if rect.contains_point(x, y)
+    )
+
+
+def brute_circle(xy, cx, cy, r):
+    return sorted(
+        i
+        for i, (x, y) in enumerate(xy)
+        if (x - cx) ** 2 + (y - cy) ** 2 <= r * r
+    )
+
+
+@pytest.fixture(scope="module")
+def point_cloud():
+    rng = np.random.default_rng(42)
+    return rng.uniform(0, 100, size=(400, 2))
+
+
+@pytest.fixture(scope="module", params=["bulk", "incremental"])
+def tree(request, point_cloud):
+    if request.param == "bulk":
+        return RTree.bulk_load(point_cloud)
+    t = RTree()
+    for i, (x, y) in enumerate(point_cloud):
+        t.insert(i, float(x), float(y))
+    return t
+
+
+class TestConstruction:
+    def test_len(self, tree, point_cloud):
+        assert len(tree) == len(point_cloud)
+
+    def test_invariants(self, tree):
+        tree.check_invariants()
+
+    def test_all_ids_complete(self, tree, point_cloud):
+        assert sorted(tree.all_ids()) == list(range(len(point_cloud)))
+
+    def test_bulk_load_empty(self):
+        t = RTree.bulk_load(np.empty((0, 2)))
+        assert len(t) == 0
+        assert t.query_rect(MBR(0, 0, 1, 1)) == []
+
+    def test_bulk_load_custom_ids(self):
+        xy = np.array([[0.0, 0.0], [1.0, 1.0]])
+        t = RTree.bulk_load(xy, ids=np.array([7, 9]))
+        assert sorted(t.all_ids()) == [7, 9]
+
+    def test_bulk_load_misaligned_ids_raise(self):
+        with pytest.raises(ValueError):
+            RTree.bulk_load(np.zeros((3, 2)), ids=np.array([1, 2]))
+
+    def test_bulk_load_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            RTree.bulk_load(np.zeros((3, 3)))
+
+    def test_insert_non_finite_raises(self):
+        t = RTree()
+        with pytest.raises(ValueError):
+            t.insert(0, float("nan"), 1.0)
+        with pytest.raises(ValueError):
+            t.insert(0, 1.0, float("inf"))
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=1)
+
+    def test_height_grows(self):
+        t = RTree(max_entries=4)
+        for i in range(100):
+            t.insert(i, float(i % 10), float(i // 10))
+        assert t.height() >= 3
+        t.check_invariants()
+
+
+class TestQueries:
+    def test_rect_query_matches_brute(self, tree, point_cloud):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            x1, x2 = sorted(rng.uniform(0, 100, 2))
+            y1, y2 = sorted(rng.uniform(0, 100, 2))
+            rect = MBR(x1, y1, x2, y2)
+            assert sorted(tree.query_rect(rect)) == brute_rect(point_cloud, rect)
+
+    def test_circle_query_matches_brute(self, tree, point_cloud):
+        rng = np.random.default_rng(8)
+        for _ in range(25):
+            cx, cy = rng.uniform(0, 100, 2)
+            r = rng.uniform(0, 40)
+            assert sorted(tree.query_circle(cx, cy, r)) == brute_circle(
+                point_cloud, cx, cy, r
+            )
+
+    def test_negative_radius_empty(self, tree):
+        assert tree.query_circle(50, 50, -1.0) == []
+
+    def test_zero_radius_hits_exact_point(self, point_cloud, tree):
+        x, y = point_cloud[13]
+        assert 13 in tree.query_circle(float(x), float(y), 0.0)
+
+    def test_query_outside_extent(self, tree):
+        assert tree.query_rect(MBR(200, 200, 300, 300)) == []
+
+    def test_nearest_matches_brute(self, tree, point_cloud):
+        rng = np.random.default_rng(9)
+        for _ in range(25):
+            qx, qy = rng.uniform(-20, 120, 2)
+            nid, nd = tree.nearest(qx, qy)
+            d = np.hypot(point_cloud[:, 0] - qx, point_cloud[:, 1] - qy)
+            assert nd == pytest.approx(d.min())
+            assert d[nid] == pytest.approx(d.min())
+
+    def test_nearest_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            RTree().nearest(0, 0)
+
+    def test_stats_counters_increase(self, tree):
+        tree.stats.reset()
+        tree.query_rect(MBR(0, 0, 100, 100))
+        assert tree.stats.node_accesses > 0
+        assert tree.stats.leaf_accesses > 0
+
+
+class TestDeletion:
+    def test_delete_removes_entry(self):
+        t = RTree(max_entries=4)
+        pts = [(i, float(i), float(i % 3)) for i in range(30)]
+        for i, x, y in pts:
+            t.insert(i, x, y)
+        t.delete(5, 5.0, 2.0)
+        assert len(t) == 29
+        assert 5 not in t.all_ids()
+        t.check_invariants()
+
+    def test_delete_unknown_raises(self):
+        t = RTree()
+        t.insert(0, 1.0, 1.0)
+        with pytest.raises(KeyError):
+            t.delete(0, 2.0, 2.0)  # right id, wrong coordinates
+        with pytest.raises(KeyError):
+            t.delete(9, 1.0, 1.0)
+
+    def test_delete_all_then_reuse(self):
+        rng = np.random.default_rng(3)
+        xy = rng.uniform(0, 20, size=(50, 2))
+        t = RTree(max_entries=4)
+        for i, (x, y) in enumerate(xy):
+            t.insert(i, float(x), float(y))
+        for i, (x, y) in enumerate(xy):
+            t.delete(i, float(x), float(y))
+            t.check_invariants()
+        assert len(t) == 0
+        t.insert(99, 1.0, 1.0)
+        assert t.nearest(0.0, 0.0)[0] == 99
+
+    def test_queries_consistent_after_random_deletes(self):
+        rng = np.random.default_rng(4)
+        xy = rng.uniform(0, 50, size=(120, 2))
+        t = RTree(max_entries=5)
+        for i, (x, y) in enumerate(xy):
+            t.insert(i, float(x), float(y))
+        removed = set(rng.choice(120, size=60, replace=False).tolist())
+        for i in removed:
+            t.delete(i, float(xy[i, 0]), float(xy[i, 1]))
+        t.check_invariants()
+        rect = MBR(10, 10, 40, 40)
+        expected = [i for i in brute_rect(xy, rect) if i not in removed]
+        assert sorted(t.query_rect(rect)) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500), max_entries=st.integers(2, 10))
+    def test_delete_property(self, seed, max_entries):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 60))
+        xy = rng.uniform(-20, 20, size=(n, 2))
+        t = RTree(max_entries=max_entries)
+        for i, (x, y) in enumerate(xy):
+            t.insert(i, float(x), float(y))
+        keep = set(range(n))
+        for i in rng.permutation(n)[: n // 2]:
+            t.delete(int(i), float(xy[i, 0]), float(xy[i, 1]))
+            keep.discard(int(i))
+        t.check_invariants()
+        assert sorted(t.all_ids()) == sorted(keep)
+        assert len(t) == len(keep)
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        count=st.integers(1, 120),
+        max_entries=st.integers(2, 12),
+    )
+    def test_random_trees_consistent(self, seed, count, max_entries):
+        rng = np.random.default_rng(seed)
+        xy = rng.uniform(-50, 50, size=(count, 2))
+        bulk = RTree.bulk_load(xy, max_entries=max_entries)
+        incr = RTree(max_entries=max_entries)
+        for i, (x, y) in enumerate(xy):
+            incr.insert(i, float(x), float(y))
+        bulk.check_invariants()
+        incr.check_invariants()
+        rect = MBR(-20, -20, 20, 20)
+        expected = brute_rect(xy, rect)
+        assert sorted(bulk.query_rect(rect)) == expected
+        assert sorted(incr.query_rect(rect)) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_duplicate_points_supported(self, seed):
+        rng = np.random.default_rng(seed)
+        xy = np.repeat(rng.uniform(0, 10, size=(5, 2)), 8, axis=0)
+        t = RTree.bulk_load(xy, max_entries=4)
+        t.check_invariants()
+        assert sorted(t.all_ids()) == list(range(40))
+        hits = t.query_circle(*xy[0], 1e-9)
+        assert len(hits) >= 8

@@ -1,0 +1,92 @@
+"""End-to-end integration tests over generated worlds."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS, PowerLawPF, select_location
+from repro.core.incremental import IncrementalPrimeLS
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+class TestEndToEnd:
+    def test_all_exact_algorithms_agree_on_demo_world(
+        self, demo_dataset, demo_candidates, pf
+    ):
+        candidates, _ = demo_candidates
+        results = {
+            name: ALGORITHMS[name]().select(
+                demo_dataset.objects, candidates, pf, 0.7
+            )
+            for name in ("NA", "PIN", "PIN-VO", "PIN-VO*")
+        }
+        na = results["NA"]
+        assert results["PIN"].influences == na.influences
+        assert results["PIN-VO"].best_influence == na.best_influence
+        assert results["PIN-VO*"].best_influence == na.best_influence
+
+    def test_pruning_is_substantial_on_demo_world(
+        self, demo_dataset, demo_candidates, pf
+    ):
+        candidates, _ = demo_candidates
+        result = ALGORITHMS["PIN"]().select(
+            demo_dataset.objects, candidates, pf, 0.7
+        )
+        # The paper reports ~2/3 pruned; demand at least a third here.
+        assert result.instrumentation.pruned_fraction() > 1 / 3
+
+    def test_incremental_replays_batch(self, demo_dataset, demo_candidates, pf):
+        candidates, _ = demo_candidates
+        index = IncrementalPrimeLS(pf, 0.7)
+        for obj in demo_dataset.objects:
+            index.add_object(obj)
+        for cand in candidates:
+            index.add_candidate(cand)
+        batch = select_location(
+            demo_dataset.objects, candidates, pf=pf, tau=0.7, algorithm="NA"
+        )
+        _, influence = index.optimal_location()
+        assert influence == batch.best_influence
+
+    def test_influence_saturates_with_low_tau(self, demo_dataset, demo_candidates):
+        candidates, _ = demo_candidates
+        pf = PowerLawPF()
+        low = select_location(demo_dataset.objects, candidates, pf=pf, tau=0.05)
+        high = select_location(demo_dataset.objects, candidates, pf=pf, tau=0.95)
+        assert low.best_influence >= high.best_influence
+
+    def test_seeded_world_is_reproducible_end_to_end(self):
+        from repro.datasets import tiny_demo
+
+        results = []
+        for _ in range(2):
+            world = tiny_demo(seed=33)
+            rng = np.random.default_rng(1)
+            cands, _ = world.dataset.sample_candidates(20, rng)
+            r = select_location(world.dataset.objects, cands, tau=0.7)
+            results.append((r.best_candidate.candidate_id, r.best_influence))
+        assert results[0] == results[1]
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_examples_run(example, tmp_path):
+    """Every example script must run cleanly as a subprocess.
+
+    Runs in a temporary working directory so examples that write
+    artefacts (SVGs) do not litter the repository.
+    """
+    proc = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "examples must print something"

@@ -1,0 +1,164 @@
+"""Tests for raw check-in log I/O and the classic BRNN substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brnn_classic import (
+    influence_sets,
+    max_influence_location,
+    nearest_candidate_assignment,
+    nearest_candidate_assignment_rtree,
+)
+from repro.index import RTree
+from repro.model.io import read_checkin_log, write_checkin_log
+
+
+class TestCheckinLogIO:
+    def _write_sample(self, tmp_path):
+        rows = [
+            ("alice", "2010-07-24T13:45", 1.350, 103.80, "v1"),
+            ("alice", "2010-07-25T09:00", 1.352, 103.81, "v2"),
+            ("alice", "2010-07-26T18:30", 1.351, 103.80, "v1"),
+            ("bob", "2010-07-24T10:00", 1.300, 103.90, "v3"),
+            ("bob", "2010-07-27T20:00", 1.301, 103.91, "v3"),
+            ("carol", "2010-07-28T11:00", 1.320, 103.85, "v2"),
+        ]
+        path = tmp_path / "checkins.csv"
+        write_checkin_log(path, rows)
+        return path
+
+    def test_round_trip_structure(self, tmp_path):
+        path = self._write_sample(tmp_path)
+        ds = read_checkin_log(path)
+        assert ds.n_objects == 3
+        assert ds.n_venues == 3
+        # v1 has 2 check-ins, v2 has 2, v3 has 2.
+        assert sorted(ds.venue_checkins.tolist()) == [2, 2, 2]
+        assert sum(o.n_positions for o in ds.objects) == 6
+
+    def test_min_checkins_filter(self, tmp_path):
+        path = self._write_sample(tmp_path)
+        ds = read_checkin_log(path, min_checkins_per_user=2)
+        assert ds.n_objects == 2  # carol dropped
+
+    def test_projection_produces_city_scale_km(self, tmp_path):
+        path = self._write_sample(tmp_path)
+        ds = read_checkin_log(path)
+        all_xy = np.concatenate([o.positions for o in ds.objects])
+        # Points span ~0.11 degrees of longitude ≈ 12 km.
+        assert np.all(np.abs(all_xy) < 50.0)
+        assert np.ptp(all_xy[:, 0]) > 5.0
+
+    def test_missing_columns_raise(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user_id,latitude\na,1.0\n")
+        with pytest.raises(ValueError, match="missing"):
+            read_checkin_log(path)
+
+    def test_empty_log_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_checkin_log(path, [])
+        with pytest.raises(ValueError, match="no check-ins"):
+            read_checkin_log(path)
+
+    def test_all_users_filtered_raises(self, tmp_path):
+        path = self._write_sample(tmp_path)
+        with pytest.raises(ValueError, match="no user"):
+            read_checkin_log(path, min_checkins_per_user=10)
+
+    def test_dataset_usable_by_solver(self, tmp_path):
+        from repro import select_location
+
+        path = self._write_sample(tmp_path)
+        ds = read_checkin_log(path)
+        cands, _ = ds.sample_candidates(2, np.random.default_rng(0))
+        result = select_location(ds.objects, cands, tau=0.5)
+        assert 0 <= result.best_influence <= ds.n_objects
+
+
+class TestClassicBRNN:
+    def test_assignment_matches_brute(self, rng):
+        points = rng.uniform(0, 50, size=(200, 2))
+        cand_xy = rng.uniform(0, 50, size=(12, 2))
+        got = nearest_candidate_assignment(points, cand_xy)
+        dx = points[:, 0][:, None] - cand_xy[:, 0][None, :]
+        dy = points[:, 1][:, None] - cand_xy[:, 1][None, :]
+        expected = np.argmin(np.hypot(dx, dy), axis=1)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_assignment_chunking_irrelevant(self, rng):
+        points = rng.uniform(0, 10, size=(100, 2))
+        cand_xy = rng.uniform(0, 10, size=(7, 2))
+        a = nearest_candidate_assignment(points, cand_xy, chunk=8)
+        b = nearest_candidate_assignment(points, cand_xy, chunk=4096)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rtree_variant_agrees(self, rng):
+        points = rng.uniform(0, 30, size=(150, 2))
+        cand_xy = rng.uniform(0, 30, size=(10, 2))
+        tree = RTree.bulk_load(cand_xy)
+        scan = nearest_candidate_assignment(points, cand_xy)
+        via_tree = nearest_candidate_assignment_rtree(points, tree)
+        # Distances must agree even if tie indexes differ.
+        for i in range(150):
+            d_scan = np.hypot(*(points[i] - cand_xy[scan[i]]))
+            d_tree = np.hypot(*(points[i] - cand_xy[via_tree[i]]))
+            assert d_scan == pytest.approx(d_tree)
+
+    def test_influence_sets_partition_points(self, rng):
+        points = rng.uniform(0, 20, size=(80, 2))
+        cand_xy = rng.uniform(0, 20, size=(6, 2))
+        sets = influence_sets(points, cand_xy)
+        assert set(sets) == set(range(6))
+        all_points = np.concatenate([sets[j] for j in range(6)])
+        assert sorted(all_points.tolist()) == list(range(80))
+
+    def test_max_influence_location(self, rng):
+        # One candidate sits in a dense cluster, the other far away.
+        cluster = rng.normal([5, 5], 0.5, size=(50, 2))
+        outliers = rng.normal([50, 50], 0.5, size=(3, 2))
+        points = np.concatenate([cluster, outliers])
+        cand_xy = np.array([[5.0, 5.0], [50.0, 50.0]])
+        best, size = max_influence_location(points, cand_xy)
+        assert best == 0
+        assert size == 50
+
+    def test_empty_candidates_raise(self, rng):
+        with pytest.raises(ValueError):
+            nearest_candidate_assignment(rng.uniform(0, 1, (5, 2)), np.empty((0, 2)))
+
+
+class TestExportRawLog:
+    def test_generator_to_raw_round_trip(self, tmp_path):
+        from repro.datasets import tiny_demo
+        from repro.model.io import export_raw_log, read_checkin_log
+
+        ds = tiny_demo(seed=4).dataset
+        path = export_raw_log(ds, tmp_path / "sample.csv")
+        loaded = read_checkin_log(path)
+        assert loaded.n_objects == ds.n_objects
+        # Total check-ins preserved exactly.
+        assert sum(o.n_positions for o in loaded.objects) == sum(
+            o.n_positions for o in ds.objects
+        )
+        # Positions survive the lon/lat round trip to within metres
+        # (after re-centering: both are projected around their own
+        # origin, so compare pairwise distances instead of coordinates).
+        import numpy as np
+
+        a = ds.objects[0].positions
+        b = loaded.objects[0].positions
+        da = np.hypot(*(a[0] - a[-1]))
+        db = np.hypot(*(b[0] - b[-1]))
+        assert da == pytest.approx(db, abs=0.01)
+
+    def test_exported_log_is_solvable(self, tmp_path):
+        from repro import select_location
+        from repro.datasets import tiny_demo
+        from repro.model.io import export_raw_log, read_checkin_log
+
+        ds = tiny_demo(seed=5).dataset
+        loaded = read_checkin_log(export_raw_log(ds, tmp_path / "log.csv"))
+        cands, _ = loaded.sample_candidates(15, np.random.default_rng(0))
+        result = select_location(loaded.objects, cands, tau=0.7)
+        assert 0 < result.best_influence <= loaded.n_objects

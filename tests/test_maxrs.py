@@ -1,0 +1,138 @@
+"""Tests for the exact MaxRS substrate (Choi et al. [18])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.maxrs import (
+    _MaxAddSegmentTree,
+    max_rs,
+    max_rs_brute,
+    max_rs_over_objects,
+)
+
+from tests.helpers import make_objects
+
+
+class TestSegmentTree:
+    def test_single_slot(self):
+        tree = _MaxAddSegmentTree(1)
+        tree.add(0, 0, 2.5)
+        assert tree.global_max == 2.5
+        assert tree.argmax_slot() == 0
+
+    def test_range_adds_stack(self):
+        tree = _MaxAddSegmentTree(8)
+        tree.add(0, 7, 1.0)
+        tree.add(2, 5, 1.0)
+        tree.add(4, 4, 3.0)
+        assert tree.global_max == 5.0
+        assert tree.argmax_slot() == 4
+
+    def test_negative_adds(self):
+        tree = _MaxAddSegmentTree(4)
+        tree.add(0, 3, 2.0)
+        tree.add(1, 2, -2.0)
+        assert tree.global_max == 2.0
+        assert tree.argmax_slot() in (0, 3)
+
+    def test_matches_array_simulation(self):
+        rng = np.random.default_rng(0)
+        k = 37
+        tree = _MaxAddSegmentTree(k)
+        array = np.zeros(k)
+        for _ in range(200):
+            lo, hi = sorted(rng.integers(0, k, 2))
+            value = float(rng.normal())
+            tree.add(int(lo), int(hi), value)
+            array[lo : hi + 1] += value
+            assert tree.global_max == pytest.approx(array.max())
+            slot = tree.argmax_slot()
+            if slot < k:
+                assert array[slot] == pytest.approx(array.max())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _MaxAddSegmentTree(0)
+
+
+class TestMaxRS:
+    def test_single_point(self):
+        result = max_rs(np.array([[3.0, 4.0]]), 1.0, 1.0)
+        assert result.weight == 1.0
+
+    def test_two_clusters(self):
+        cluster_a = np.array([[0.0, 0.0], [0.1, 0.1], [0.2, 0.0]])
+        cluster_b = np.array([[10.0, 10.0], [10.1, 10.0]])
+        result = max_rs(np.concatenate([cluster_a, cluster_b]), 1.0, 1.0)
+        assert result.weight == 3.0
+        # Best centre covers cluster A.
+        assert abs(result.x) < 1.0 and abs(result.y) < 1.0
+
+    def test_weighted(self):
+        points = np.array([[0.0, 0.0], [5.0, 5.0]])
+        result = max_rs(points, 1.0, 1.0, weights=[1.0, 10.0])
+        assert result.weight == 10.0
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(4)
+        for trial in range(8):
+            n = int(rng.integers(3, 25))
+            points = rng.uniform(0, 10, size=(n, 2))
+            w = rng.uniform(0.1, 2.0, n)
+            width = float(rng.uniform(0.5, 4.0))
+            height = float(rng.uniform(0.5, 4.0))
+            fast = max_rs(points, width, height, weights=w)
+            brute = max_rs_brute(points, width, height, weights=w)
+            assert fast.weight == pytest.approx(brute), trial
+
+    def test_returned_centre_achieves_weight(self):
+        rng = np.random.default_rng(9)
+        points = rng.uniform(0, 8, size=(40, 2))
+        width, height = 2.0, 1.5
+        result = max_rs(points, width, height)
+        inside = (
+            (np.abs(points[:, 0] - result.x) <= width / 2 + 1e-9)
+            & (np.abs(points[:, 1] - result.y) <= height / 2 + 1e-9)
+        )
+        assert int(inside.sum()) == int(result.weight)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_rs(np.empty((0, 2)), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            max_rs(np.zeros((2, 2)), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            max_rs(np.zeros((2, 2)), 1.0, 1.0, weights=[1.0])
+        with pytest.raises(ValueError):
+            max_rs(np.zeros((2, 2)), 1.0, 1.0, weights=[1.0, -1.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2_000),
+        n=st.integers(1, 18),
+        width=st.floats(0.2, 5.0),
+        height=st.floats(0.2, 5.0),
+    )
+    def test_sweep_equals_brute_property(self, seed, n, width, height):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 10, size=(n, 2))
+        fast = max_rs(points, width, height)
+        brute = max_rs_brute(points, width, height)
+        assert fast.weight == pytest.approx(brute)
+
+
+class TestMaxRSOverObjects:
+    def test_normalised_weights_cap_object_contribution(self, rng):
+        objects = make_objects(rng, 5, extent=4.0, n_range=(10, 20), spread=0.5)
+        result = max_rs_over_objects(objects, 50.0, 50.0)
+        # A rectangle covering everything weighs exactly #objects.
+        assert result.weight == pytest.approx(len(objects))
+
+    def test_unnormalised_counts_positions(self, rng):
+        objects = make_objects(rng, 3, extent=4.0, n_range=(5, 5), spread=0.5)
+        result = max_rs_over_objects(
+            objects, 50.0, 50.0, per_object_normalised=False
+        )
+        assert result.weight == pytest.approx(15.0)

@@ -1,0 +1,87 @@
+"""Tests for P@K / AP@K and ground-truth ranking."""
+
+import numpy as np
+import pytest
+
+from repro.eval import average_precision_at_k, precision_at_k, relevant_top_k
+
+
+class TestPrecisionAtK:
+    def test_perfect(self):
+        assert precision_at_k([1, 2, 3], [1, 2, 3], 3) == 1.0
+
+    def test_zero(self):
+        assert precision_at_k([4, 5, 6], [1, 2, 3], 3) == 0.0
+
+    def test_partial(self):
+        assert precision_at_k([1, 9, 2, 8], [1, 2, 3, 4], 4) == 0.5
+
+    def test_only_first_k_counted(self):
+        assert precision_at_k([9, 9, 1], [1], 2) == 0.0
+
+    def test_short_recommendation_list(self):
+        # Fewer recommendations than k: missing slots are misses.
+        assert precision_at_k([1], [1, 2], 2) == 0.5
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], [1], 0)
+
+    def test_order_within_topk_irrelevant(self):
+        a = precision_at_k([1, 2, 9], [1, 2], 3)
+        b = precision_at_k([2, 9, 1], [1, 2], 3)
+        assert a == b
+
+
+class TestAveragePrecisionAtK:
+    def test_perfect(self):
+        # hits at every rank: (1/1 + 2/2 + 3/3) / 3 = 1
+        assert average_precision_at_k([1, 2, 3], [1, 2, 3], 3) == 1.0
+
+    def test_zero(self):
+        assert average_precision_at_k([7, 8], [1], 2) == 0.0
+
+    def test_rank_sensitivity(self):
+        # Earlier hits score higher.
+        early = average_precision_at_k([1, 9, 8], [1], 3)
+        late = average_precision_at_k([9, 8, 1], [1], 3)
+        assert early > late
+
+    def test_hand_computed(self):
+        # recommended [1, 9, 2], relevant {1, 2}, k = 3:
+        # hits at ranks 1 (P=1/1) and 3 (P=2/3) => (1 + 2/3) / 3
+        expected = (1.0 + 2.0 / 3.0) / 3.0
+        assert average_precision_at_k([1, 9, 2], [1, 2], 3) == pytest.approx(expected)
+
+    def test_leq_precision(self):
+        # AP@K normalised by k is never above P@K.
+        rec, rel = [1, 9, 2, 8, 3], [1, 2, 3]
+        for k in (1, 2, 3, 4, 5):
+            assert average_precision_at_k(rec, rel, k) <= precision_at_k(
+                rec, rel, k
+            ) + 1e-12
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            average_precision_at_k([1], [1], -1)
+
+
+class TestRelevantTopK:
+    def test_ranks_by_checkins(self):
+        checkins = np.array([5, 100, 20, 7])
+        venue_idx = np.array([0, 1, 2, 3])  # candidate i -> venue i
+        assert relevant_top_k(checkins, venue_idx, 2) == [1, 2]
+
+    def test_indirection(self):
+        checkins = np.array([5, 100, 20])
+        venue_idx = np.array([2, 0])  # candidate 0 -> venue 2 (20 visits)
+        assert relevant_top_k(checkins, venue_idx, 1) == [0]
+
+    def test_ties_break_by_candidate_position(self):
+        checkins = np.array([10, 10, 10])
+        venue_idx = np.array([0, 1, 2])
+        assert relevant_top_k(checkins, venue_idx, 3) == [0, 1, 2]
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            relevant_top_k(np.array([1]), np.array([0]), 0)

@@ -1,0 +1,110 @@
+"""Tests for Definition 5: the minMaxRadius measure and its cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minmax_radius import (
+    MinMaxRadiusCache,
+    min_max_radius,
+    required_position_probability,
+)
+from repro.prob import LinearPF, PowerLawPF
+
+
+class TestRequiredPositionProbability:
+    def test_single_position_equals_tau(self):
+        assert required_position_probability(0.7, 1) == pytest.approx(0.7)
+
+    def test_formula(self):
+        # 1 - (1 - 0.7)^(1/10)
+        assert required_position_probability(0.7, 10) == pytest.approx(
+            1 - 0.3 ** 0.1
+        )
+
+    def test_decreasing_in_n(self):
+        values = [required_position_probability(0.7, n) for n in (1, 2, 5, 20, 100)]
+        assert values == sorted(values, reverse=True)
+
+    def test_increasing_in_tau(self):
+        values = [required_position_probability(t, 10) for t in (0.1, 0.4, 0.7, 0.9)]
+        assert values == sorted(values)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            required_position_probability(0.0, 5)
+        with pytest.raises(ValueError):
+            required_position_probability(1.0, 5)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            required_position_probability(0.5, 0)
+
+
+class TestMinMaxRadius:
+    def test_definition5(self, pf):
+        # minMaxRadius(tau, n) = PF^-1(1 - (1 - tau)^(1/n))
+        tau, n = 0.7, 20
+        expected = pf.inverse(1 - 0.3 ** (1 / 20))
+        assert min_max_radius(pf, tau, n) == pytest.approx(expected)
+
+    def test_single_position_reduces_to_lemma1(self, pf):
+        # Lemma 1: c influences a 1-position object iff dist <= PF^-1(tau).
+        assert min_max_radius(pf, 0.5, 1) == pytest.approx(pf.inverse(0.5))
+
+    def test_grows_with_n(self, pf):
+        radii = [min_max_radius(pf, 0.7, n) for n in (1, 5, 20, 80)]
+        assert radii == sorted(radii)
+
+    def test_shrinks_with_tau(self, pf):
+        radii = [min_max_radius(pf, t, 20) for t in (0.1, 0.5, 0.9)]
+        assert radii == sorted(radii, reverse=True)
+
+    def test_uninfluenceable_returns_none(self):
+        # LinearPF caps at rho=0.5; a single-position object needs
+        # per-position probability 0.7 > 0.5 at tau=0.7.
+        pf = LinearPF(rho=0.5, scale=10.0)
+        assert min_max_radius(pf, 0.7, 1) is None
+
+    def test_uninfluenceable_threshold_is_sharp(self):
+        pf = LinearPF(rho=0.5, scale=10.0)
+        # With enough positions the per-position requirement drops below rho.
+        assert min_max_radius(pf, 0.7, 1) is None
+        assert min_max_radius(pf, 0.7, 5) is not None
+
+    @settings(max_examples=50)
+    @given(st.floats(0.05, 0.95), st.integers(1, 500))
+    def test_radius_is_nonnegative_when_defined(self, tau, n):
+        pf = PowerLawPF()
+        radius = min_max_radius(pf, tau, n)
+        if radius is not None:
+            assert radius >= 0.0
+
+
+class TestCache:
+    def test_memoises_per_n(self, pf):
+        cache = MinMaxRadiusCache(pf, 0.7)
+        r1 = cache.radius(10)
+        r2 = cache.radius(10)
+        assert r1 == r2
+        assert len(cache) == 1
+        cache.radius(20)
+        assert len(cache) == 2
+
+    def test_matches_direct_computation(self, pf):
+        cache = MinMaxRadiusCache(pf, 0.4)
+        for n in (1, 3, 17, 100):
+            assert cache.radius(n) == pytest.approx(min_max_radius(pf, 0.4, n))
+
+    def test_caches_none(self):
+        pf = LinearPF(rho=0.5, scale=10.0)
+        cache = MinMaxRadiusCache(pf, 0.9)
+        assert cache.radius(1) is None
+        assert cache.radius(1) is None
+        assert len(cache) == 1
+
+    def test_invalid_tau(self, pf):
+        with pytest.raises(ValueError):
+            MinMaxRadiusCache(pf, 0.0)
+        with pytest.raises(ValueError):
+            MinMaxRadiusCache(pf, 1.0)

@@ -1,0 +1,134 @@
+"""Tests for the data model: MovingObject, Candidate, CheckinDataset."""
+
+import numpy as np
+import pytest
+
+from repro.model import Candidate, CheckinDataset, MovingObject
+from repro.model.dataset import objects_from_checkins
+
+
+class TestMovingObject:
+    def test_basic_properties(self):
+        obj = MovingObject(3, np.array([[0.0, 0.0], [2.0, 4.0]]))
+        assert obj.object_id == 3
+        assert obj.n_positions == 2
+        assert len(obj) == 2
+        assert obj.mbr.as_tuple() == (0.0, 0.0, 2.0, 4.0)
+
+    def test_positions_are_read_only(self):
+        obj = MovingObject(0, np.array([[1.0, 1.0]]))
+        with pytest.raises(ValueError):
+            obj.positions[0, 0] = 5.0
+
+    def test_input_array_not_aliased(self):
+        raw = np.array([[1.0, 1.0]])
+        obj = MovingObject(0, raw)
+        raw[0, 0] = 99.0
+        assert obj.positions[0, 0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MovingObject(0, np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            MovingObject(0, np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            MovingObject(0, np.array([[np.nan, 0.0]]))
+
+    def test_mbr_cached(self):
+        obj = MovingObject(0, np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert obj.mbr is obj.mbr
+
+    def test_subsample(self, rng):
+        obj = MovingObject(0, rng.uniform(0, 10, size=(20, 2)))
+        sub = obj.subsample(5, rng)
+        assert sub.n_positions == 5
+        assert sub.object_id == 0
+        original = {tuple(p) for p in obj.positions}
+        assert all(tuple(p) in original for p in sub.positions)
+
+    def test_subsample_validation(self, rng):
+        obj = MovingObject(0, rng.uniform(0, 10, size=(5, 2)))
+        with pytest.raises(ValueError):
+            obj.subsample(0, rng)
+        with pytest.raises(ValueError):
+            obj.subsample(6, rng)
+
+    def test_subsample_without_replacement(self, rng):
+        obj = MovingObject(0, rng.uniform(0, 10, size=(10, 2)))
+        sub = obj.subsample(10, rng)
+        assert sub.n_positions == 10
+        assert len({tuple(p) for p in sub.positions}) == 10
+
+
+class TestCandidate:
+    def test_point_property(self):
+        cand = Candidate(1, 2.0, 3.0)
+        assert cand.point.as_tuple() == (2.0, 3.0)
+
+    def test_repr_with_label(self):
+        assert "mall" in repr(Candidate(1, 0.0, 0.0, label="mall"))
+
+
+class TestCheckinDataset:
+    def test_stats(self, demo_dataset):
+        stats = demo_dataset.stats()
+        assert stats.user_count == demo_dataset.n_objects
+        assert stats.checkin_count == sum(
+            o.n_positions for o in demo_dataset.objects
+        )
+        assert stats.min_checkins <= stats.avg_checkins <= stats.max_checkins
+
+    def test_stats_rows_render(self, demo_dataset):
+        rows = demo_dataset.stats().rows()
+        assert len(rows) == 6
+
+    def test_sample_candidates(self, demo_dataset):
+        rng = np.random.default_rng(0)
+        cands, idx = demo_dataset.sample_candidates(10, rng)
+        assert len(cands) == 10
+        assert len(set(idx.tolist())) == 10  # without replacement
+        for c, venue in zip(cands, idx):
+            assert c.x == demo_dataset.venue_xy[venue, 0]
+
+    def test_sample_candidates_validation(self, demo_dataset):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            demo_dataset.sample_candidates(0, rng)
+        with pytest.raises(ValueError):
+            demo_dataset.sample_candidates(demo_dataset.n_venues + 1, rng)
+
+    def test_subset_objects(self, demo_dataset):
+        rng = np.random.default_rng(0)
+        subset = demo_dataset.subset_objects(7, rng)
+        assert len(subset) == 7
+        ids = {o.object_id for o in subset}
+        assert len(ids) == 7
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            CheckinDataset([], np.zeros((2, 3)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            CheckinDataset([], np.zeros((2, 2)), np.zeros(3, dtype=int))
+
+    def test_save_and_load_round_trip(self, demo_dataset, tmp_path):
+        demo_dataset.save(tmp_path)
+        loaded = CheckinDataset.load(tmp_path, name="reloaded")
+        assert loaded.n_objects == demo_dataset.n_objects
+        assert loaded.n_venues == demo_dataset.n_venues
+        np.testing.assert_allclose(
+            loaded.venue_xy, demo_dataset.venue_xy, atol=1e-6
+        )
+        np.testing.assert_array_equal(
+            loaded.venue_checkins, demo_dataset.venue_checkins
+        )
+        for a, b in zip(loaded.objects, demo_dataset.objects):
+            assert a.object_id == b.object_id
+            np.testing.assert_allclose(a.positions, b.positions, atol=1e-6)
+
+
+class TestObjectsFromCheckins:
+    def test_grouping(self):
+        rows = [(1, 0.0, 0.0), (0, 1.0, 1.0), (1, 2.0, 2.0)]
+        objects = objects_from_checkins(rows)
+        assert [o.object_id for o in objects] == [0, 1]
+        assert objects[1].n_positions == 2

@@ -1,0 +1,92 @@
+"""Tests for the exhaustive NA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.influence import cumulative_probability
+from repro.core.naive import NaiveAlgorithm, exact_influence, exact_probability
+from repro.model import Candidate, MovingObject
+
+from tests.helpers import make_candidates, make_objects
+
+
+class TestNaive:
+    def test_influence_matches_definition(self, pf, rng):
+        objects = make_objects(rng, 12, n_range=(1, 20))
+        candidates = make_candidates(rng, 10)
+        tau = 0.6
+        result = NaiveAlgorithm().select(objects, candidates, pf, tau)
+        for j, cand in enumerate(candidates):
+            expected = sum(
+                1
+                for obj in objects
+                if cumulative_probability(pf, obj.positions, cand.x, cand.y) >= tau
+            )
+            assert result.influences[j] == expected
+
+    def test_scalar_and_vector_agree(self, pf, rng):
+        objects = make_objects(rng, 10, n_range=(1, 15))
+        candidates = make_candidates(rng, 8)
+        rv = NaiveAlgorithm(kernel="vector").select(objects, candidates, pf, 0.5)
+        rs = NaiveAlgorithm(kernel="scalar").select(objects, candidates, pf, 0.5)
+        assert rv.influences == rs.influences
+        assert rv.best_influence == rs.best_influence
+
+    def test_best_is_argmax(self, pf, rng):
+        objects = make_objects(rng, 15)
+        candidates = make_candidates(rng, 12)
+        result = NaiveAlgorithm().select(objects, candidates, pf, 0.7)
+        assert result.best_influence == max(result.influences.values())
+
+    def test_tie_break_lowest_index(self, pf):
+        # Two identical candidates: the first wins deterministically.
+        objects = [MovingObject(0, np.array([[0.0, 0.0]]))]
+        candidates = [Candidate(0, 0.0, 0.0), Candidate(1, 0.0, 0.0)]
+        result = NaiveAlgorithm().select(objects, candidates, pf, 0.5)
+        assert result.best_candidate.candidate_id == 0
+
+    def test_validates_inputs(self, pf, rng):
+        objects = make_objects(rng, 2)
+        candidates = make_candidates(rng, 2)
+        algo = NaiveAlgorithm()
+        with pytest.raises(ValueError):
+            algo.select([], candidates, pf, 0.5)
+        with pytest.raises(ValueError):
+            algo.select(objects, [], pf, 0.5)
+        with pytest.raises(ValueError):
+            algo.select(objects, candidates, pf, 0.0)
+        with pytest.raises(ValueError):
+            algo.select(objects, candidates, pf, 1.0)
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(ValueError):
+            NaiveAlgorithm(kernel="quantum")
+
+    def test_elapsed_recorded(self, pf, rng):
+        objects = make_objects(rng, 3)
+        candidates = make_candidates(rng, 3)
+        result = NaiveAlgorithm().select(objects, candidates, pf, 0.5)
+        assert result.elapsed_seconds > 0
+
+    def test_counters(self, pf, rng):
+        objects = make_objects(rng, 4, n_range=(5, 5))
+        candidates = make_candidates(rng, 3)
+        result = NaiveAlgorithm().select(objects, candidates, pf, 0.5)
+        inst = result.instrumentation
+        assert inst.pairs_total == 12
+        assert inst.positions_evaluated == 3 * 4 * 5
+
+
+class TestHelpers:
+    def test_exact_influence_consistent(self, pf, rng):
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 5)
+        result = NaiveAlgorithm().select(objects, candidates, pf, 0.6)
+        for j, cand in enumerate(candidates):
+            assert exact_influence(objects, cand.x, cand.y, pf, 0.6) == (
+                result.influences[j]
+            )
+
+    def test_exact_probability(self, pf):
+        obj = MovingObject(0, np.array([[3.0, 4.0]]))
+        assert exact_probability(obj, 0.0, 0.0, pf) == pytest.approx(float(pf(5.0)))

@@ -1,0 +1,178 @@
+"""Tests for the road-network substrate and network PRIME-LS."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.model import Candidate, MovingObject
+from repro.network import NetworkPrimeLS, RoadNetwork, grid_road_network
+from repro.network.prime_ls import network_influence_of
+from repro.prob import ExponentialPF, PowerLawPF
+
+
+@pytest.fixture(scope="module")
+def city_grid():
+    rng = np.random.default_rng(7)
+    return grid_road_network(8, 10, spacing_km=1.0, rng=rng, jitter_km=0.05)
+
+
+class TestRoadNetwork:
+    def test_grid_shape(self, city_grid):
+        assert city_grid.n_nodes == 80
+        # Full grid: (rows-1)*cols + rows*(cols-1) edges.
+        assert city_grid.n_edges == 7 * 10 + 8 * 9
+
+    def test_validation_rejects_missing_coordinates(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError, match="coordinates"):
+            RoadNetwork(g)
+
+    def test_validation_rejects_missing_length(self):
+        g = nx.Graph()
+        g.add_node(0, x=0.0, y=0.0)
+        g.add_node(1, x=1.0, y=0.0)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError, match="length"):
+            RoadNetwork(g)
+
+    def test_grid_parameter_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            grid_road_network(1, 5)
+        with pytest.raises(ValueError):
+            grid_road_network(3, 3, detour_factor=0.5)
+        with pytest.raises(ValueError):
+            grid_road_network(3, 3, removal_prob=1.0)
+        with pytest.raises(ValueError):
+            grid_road_network(3, 3, jitter_km=0.1)  # needs rng
+        del rng
+
+    def test_snap_returns_closest_node(self, city_grid):
+        node = city_grid.snap(3.02, 4.01)
+        nx_, xy = city_grid.coordinates_array()
+        d = np.hypot(xy[:, 0] - 3.02, xy[:, 1] - 4.01)
+        best = int(nx_[int(np.argmin(d))])
+        assert node == best
+
+    def test_network_distance_at_least_euclidean(self, city_grid):
+        rng = np.random.default_rng(1)
+        nodes, xy = city_grid.coordinates_array()
+        for _ in range(25):
+            a, b = rng.choice(len(nodes), 2, replace=False)
+            net = city_grid.network_distance(int(nodes[a]), int(nodes[b]))
+            euclid = float(np.hypot(*(xy[a] - xy[b])))
+            assert net >= euclid - 1e-9
+
+    def test_removal_keeps_connectivity(self):
+        rng = np.random.default_rng(3)
+        net = grid_road_network(6, 6, rng=rng, removal_prob=0.4)
+        assert nx.is_connected(net.graph)
+
+    def test_detour_factor_scales_lengths(self):
+        plain = grid_road_network(3, 3)
+        slow = grid_road_network(3, 3, detour_factor=2.0)
+        assert slow.network_distance(0, 8) == pytest.approx(
+            2.0 * plain.network_distance(0, 8)
+        )
+
+    def test_disconnected_distance_is_inf(self):
+        g = nx.Graph()
+        g.add_node(0, x=0.0, y=0.0)
+        g.add_node(1, x=5.0, y=0.0)
+        net = RoadNetwork(g)
+        assert math.isinf(net.network_distance(0, 1))
+
+
+class TestNetworkPrimeLS:
+    def _objects_on_grid(self, network, rng, count=8, positions=6):
+        nodes, xy = network.coordinates_array()
+        objects = []
+        for oid in range(count):
+            anchor = rng.integers(0, len(nodes))
+            picks = rng.integers(0, len(nodes), size=positions)
+            # bias half the positions near the anchor row
+            pts = xy[picks] + rng.normal(0, 0.01, size=(positions, 2))
+            del anchor
+            objects.append(MovingObject(oid, pts))
+        return objects
+
+    def test_matches_reference_predicate(self, city_grid):
+        rng = np.random.default_rng(11)
+        objects = self._objects_on_grid(city_grid, rng)
+        nodes, xy = city_grid.coordinates_array()
+        cands = [
+            Candidate(j, float(xy[i, 0]), float(xy[i, 1]))
+            for j, i in enumerate(rng.choice(len(nodes), 6, replace=False))
+        ]
+        pf = ExponentialPF(rho=0.9, length=2.0)
+        tau = 0.55
+        result = NetworkPrimeLS(city_grid).select(objects, cands, pf, tau)
+        for j, cand in enumerate(cands):
+            expected = sum(
+                1
+                for obj in objects
+                if network_influence_of(city_grid, obj, cand, pf) >= tau
+            )
+            assert result.influences[j] == expected
+
+    def test_network_influence_never_exceeds_euclidean(self, city_grid):
+        # spdist >= dist ⇒ network influence counts <= Euclidean counts.
+        from repro.core.naive import NaiveAlgorithm
+
+        rng = np.random.default_rng(12)
+        objects = self._objects_on_grid(city_grid, rng)
+        nodes, xy = city_grid.coordinates_array()
+        cands = [
+            Candidate(j, float(xy[i, 0]), float(xy[i, 1]))
+            for j, i in enumerate(rng.choice(len(nodes), 5, replace=False))
+        ]
+        pf = PowerLawPF()
+        tau = 0.6
+        net = NetworkPrimeLS(city_grid).select(objects, cands, pf, tau)
+        euclid = NaiveAlgorithm().select(objects, cands, pf, tau)
+        for j in range(len(cands)):
+            assert net.influences[j] <= euclid.influences[j]
+
+    def test_bounded_mode_is_conservative(self, city_grid):
+        rng = np.random.default_rng(13)
+        objects = self._objects_on_grid(city_grid, rng)
+        nodes, xy = city_grid.coordinates_array()
+        cands = [
+            Candidate(j, float(xy[i, 0]), float(xy[i, 1]))
+            for j, i in enumerate(rng.choice(len(nodes), 5, replace=False))
+        ]
+        pf = PowerLawPF()
+        exact = NetworkPrimeLS(city_grid, exact=True).select(
+            objects, cands, pf, 0.6
+        )
+        bounded = NetworkPrimeLS(city_grid, exact=False).select(
+            objects, cands, pf, 0.6
+        )
+        for j in range(len(cands)):
+            assert bounded.influences[j] <= exact.influences[j]
+
+    def test_detours_reduce_influence(self):
+        # Same layout, slower roads: influence can only drop.
+        rng = np.random.default_rng(14)
+        fast = grid_road_network(6, 6)
+        slow = grid_road_network(6, 6, detour_factor=3.0)
+        objects = self._objects_on_grid(fast, rng, count=6)
+        nodes, xy = fast.coordinates_array()
+        cands = [Candidate(0, float(xy[17, 0]), float(xy[17, 1]))]
+        pf = ExponentialPF(rho=0.9, length=2.0)
+        f = NetworkPrimeLS(fast).select(objects, cands, pf, 0.5)
+        s = NetworkPrimeLS(slow).select(objects, cands, pf, 0.5)
+        assert s.influences[0] <= f.influences[0]
+
+    def test_nib_pruning_counts(self, city_grid):
+        rng = np.random.default_rng(15)
+        objects = self._objects_on_grid(city_grid, rng, count=5, positions=3)
+        # A candidate far off the grid: everything NIB-pruned.
+        cands = [Candidate(0, 1_000.0, 1_000.0)]
+        pf = ExponentialPF(rho=0.9, length=1.0)
+        result = NetworkPrimeLS(city_grid).select(objects, cands, pf, 0.5)
+        assert result.best_influence == 0
+        assert result.instrumentation.pairs_pruned_nib == 5

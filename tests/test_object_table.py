@@ -1,0 +1,82 @@
+"""Tests for the A2D object table (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.object_table import ObjectEntry, ObjectTable
+from repro.core.minmax_radius import min_max_radius
+from repro.model import MovingObject
+from repro.prob import LinearPF, PowerLawPF
+
+from tests.helpers import make_objects
+
+
+class TestObjectTable:
+    def test_entries_carry_radius_and_mbr(self, pf, rng):
+        objects = make_objects(rng, 10)
+        table = ObjectTable(objects, pf, 0.7)
+        assert table.live_count == 10
+        for entry, obj in zip(table.entries, objects):
+            assert entry.obj is obj
+            assert entry.mbr == obj.mbr
+            assert entry.radius == pytest.approx(
+                min_max_radius(pf, 0.7, obj.n_positions)
+            )
+
+    def test_radius_cache_shared(self, pf, rng):
+        # Many objects with the same n: only one radius computation.
+        objects = [
+            MovingObject(i, rng.uniform(0, 10, size=(12, 2))) for i in range(30)
+        ]
+        table = ObjectTable(objects, pf, 0.7)
+        assert len(table.radius_cache) == 1
+
+    def test_dead_objects_excluded(self):
+        # rho=0.5 linear PF: 1-position objects cannot reach tau=0.7.
+        pf = LinearPF(rho=0.5, scale=10.0)
+        rng = np.random.default_rng(0)
+        objects = [
+            MovingObject(0, rng.uniform(0, 5, size=(1, 2))),   # dead
+            MovingObject(1, rng.uniform(0, 5, size=(30, 2))),  # live
+        ]
+        table = ObjectTable(objects, pf, 0.7)
+        assert table.dead_objects == 1
+        assert table.live_count == 1
+        assert table.entries[0].obj.object_id == 1
+
+    def test_iteration_and_len(self, pf, rng):
+        objects = make_objects(rng, 5)
+        table = ObjectTable(objects, pf, 0.5)
+        assert len(table) == 5
+        assert [e.obj.object_id for e in table] == [0, 1, 2, 3, 4]
+
+
+class TestObjectEntry:
+    def test_regions_derived_from_radius(self, pf, rng):
+        obj = MovingObject(0, rng.uniform(0, 10, size=(20, 2)))
+        radius = min_max_radius(pf, 0.7, 20)
+        entry = ObjectEntry(obj, radius, obj.mbr)
+        assert entry.ia.radius == radius
+        assert entry.nib.radius == radius
+        assert entry.nib_bbox == obj.mbr.expanded(radius)
+
+    def test_nib_bbox_bounds_nib_region(self, pf, rng):
+        obj = MovingObject(0, rng.uniform(0, 10, size=(8, 2)))
+        radius = min_max_radius(pf, 0.5, 8)
+        entry = ObjectEntry(obj, radius, obj.mbr)
+        pts = rng.uniform(-30, 40, size=(200, 2))
+        inside_nib = entry.nib.contains_many(pts)
+        bbox = entry.nib_bbox
+        for i in range(200):
+            if inside_nib[i]:
+                assert bbox.contains_point(*pts[i])
+
+
+class TestPowerLawNeverDead:
+    def test_powerlaw_objects_always_live(self, rng):
+        # PowerLawPF has unbounded support and PF(0)=0.9 > any
+        # per-position requirement for tau <= 0.9.
+        pf = PowerLawPF()
+        objects = make_objects(rng, 20, n_range=(1, 5))
+        table = ObjectTable(objects, pf, 0.89)
+        assert table.dead_objects == 0

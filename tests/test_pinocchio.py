@@ -1,0 +1,93 @@
+"""Tests for PINOCCHIO (Algorithm 2): exactness and pruning accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naive import NaiveAlgorithm
+from repro.core.pinocchio import Pinocchio
+from repro.prob import ExponentialPF, PowerLawPF
+
+from tests.helpers import make_candidates, make_objects
+
+
+class TestExactness:
+    @pytest.mark.parametrize("use_rtree", [False, True])
+    @pytest.mark.parametrize("tau", [0.2, 0.5, 0.8])
+    def test_matches_naive(self, pf, rng, tau, use_rtree):
+        objects = make_objects(rng, 20, n_range=(1, 30))
+        candidates = make_candidates(rng, 25)
+        na = NaiveAlgorithm().select(objects, candidates, pf, tau)
+        pin = Pinocchio(use_rtree=use_rtree).select(objects, candidates, pf, tau)
+        assert pin.influences == na.influences
+        assert pin.best_influence == na.best_influence
+
+    def test_scalar_kernel_matches(self, pf, rng):
+        objects = make_objects(rng, 10, n_range=(1, 15))
+        candidates = make_candidates(rng, 10)
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.6)
+        pin = Pinocchio(kernel="scalar").select(objects, candidates, pf, 0.6)
+        assert pin.influences == na.influences
+
+    def test_other_pf(self, rng):
+        pf = ExponentialPF(rho=0.8, length=3.0)
+        objects = make_objects(rng, 15, n_range=(1, 20))
+        candidates = make_candidates(rng, 15)
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.4)
+        pin = Pinocchio().select(objects, candidates, pf, 0.4)
+        assert pin.influences == na.influences
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2_000),
+        tau=st.floats(0.05, 0.95),
+        r=st.integers(1, 15),
+        m=st.integers(1, 15),
+    )
+    def test_random_instances_property(self, seed, tau, r, m):
+        pf = PowerLawPF()
+        rng = np.random.default_rng(seed)
+        objects = make_objects(rng, r, extent=25.0, n_range=(1, 25))
+        candidates = make_candidates(rng, m, extent=25.0)
+        na = NaiveAlgorithm().select(objects, candidates, pf, tau)
+        pin = Pinocchio().select(objects, candidates, pf, tau)
+        assert pin.influences == na.influences
+
+
+class TestAccounting:
+    def test_pair_partition_adds_up(self, pf, rng):
+        objects = make_objects(rng, 20)
+        candidates = make_candidates(rng, 30)
+        pin = Pinocchio().select(objects, candidates, pf, 0.7)
+        inst = pin.instrumentation
+        assert (
+            inst.pairs_pruned_ia + inst.pairs_pruned_nib + inst.pairs_validated
+            == inst.pairs_total
+        )
+
+    def test_rtree_and_scan_same_counters(self, pf, rng):
+        objects = make_objects(rng, 15)
+        candidates = make_candidates(rng, 20)
+        a = Pinocchio(use_rtree=True).select(objects, candidates, pf, 0.6)
+        b = Pinocchio(use_rtree=False).select(objects, candidates, pf, 0.6)
+        assert a.instrumentation.pairs_pruned_ia == b.instrumentation.pairs_pruned_ia
+        assert a.instrumentation.pairs_pruned_nib == b.instrumentation.pairs_pruned_nib
+        assert a.instrumentation.pairs_validated == b.instrumentation.pairs_validated
+
+    def test_pruning_reduces_validated_pairs(self, pf, rng):
+        objects = make_objects(rng, 30, extent=100.0, spread=2.0)
+        candidates = make_candidates(rng, 40, extent=100.0)
+        pin = Pinocchio().select(objects, candidates, pf, 0.8)
+        inst = pin.instrumentation
+        assert inst.pairs_validated < inst.pairs_total
+
+    def test_ranking_helper(self, pf, rng):
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 10)
+        pin = Pinocchio().select(objects, candidates, pf, 0.5)
+        ranking = pin.ranking()
+        influences = [v for _, v in ranking]
+        assert influences == sorted(influences, reverse=True)
+        assert ranking[0][1] == pin.best_influence
+        assert len(pin.top_k(3)) == 3

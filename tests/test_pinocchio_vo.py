@@ -1,0 +1,152 @@
+"""Tests for PINOCCHIO-VO (Algorithm 3) and PIN-VO*."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naive import NaiveAlgorithm
+from repro.core.pinocchio_vo import PinocchioVO, PinocchioVOStar
+from repro.prob import PowerLawPF
+
+from tests.helpers import make_candidates, make_objects
+
+
+class TestExactness:
+    @pytest.mark.parametrize("cls", [PinocchioVO, PinocchioVOStar])
+    @pytest.mark.parametrize("kernel", ["vector", "scalar"])
+    @pytest.mark.parametrize("tau", [0.3, 0.7])
+    def test_best_influence_matches_naive(self, pf, rng, cls, kernel, tau):
+        objects = make_objects(rng, 20, n_range=(1, 30))
+        candidates = make_candidates(rng, 25)
+        na = NaiveAlgorithm().select(objects, candidates, pf, tau)
+        vo = cls(kernel=kernel).select(objects, candidates, pf, tau)
+        assert vo.best_influence == na.best_influence
+
+    def test_winner_influence_is_exact(self, pf, rng):
+        objects = make_objects(rng, 25)
+        candidates = make_candidates(rng, 20)
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.6)
+        vo = PinocchioVO().select(objects, candidates, pf, 0.6)
+        best_idx = next(
+            j for j, c in enumerate(candidates) if c is vo.best_candidate
+        )
+        assert na.influences[best_idx] == vo.best_influence
+
+    def test_fully_validated_influences_are_exact(self, pf, rng):
+        objects = make_objects(rng, 20)
+        candidates = make_candidates(rng, 15)
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.7)
+        vo = PinocchioVO().select(objects, candidates, pf, 0.7)
+        for j, influence in vo.influences.items():
+            assert influence == na.influences[j]
+
+    def test_rtree_variant(self, pf, rng):
+        objects = make_objects(rng, 15)
+        candidates = make_candidates(rng, 15)
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.5)
+        vo = PinocchioVO(use_rtree=True).select(objects, candidates, pf, 0.5)
+        assert vo.best_influence == na.best_influence
+
+    def test_fail_fast_scalar(self, pf, rng):
+        objects = make_objects(rng, 15)
+        candidates = make_candidates(rng, 15)
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.6)
+        vo = PinocchioVO(kernel="scalar", fail_fast=True).select(
+            objects, candidates, pf, 0.6
+        )
+        assert vo.best_influence == na.best_influence
+
+    def test_fail_fast_requires_scalar(self):
+        with pytest.raises(ValueError):
+            PinocchioVO(fail_fast=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 3_000),
+        tau=st.floats(0.05, 0.95),
+        r=st.integers(1, 18),
+        m=st.integers(1, 18),
+    )
+    def test_random_instances_property(self, seed, tau, r, m):
+        pf = PowerLawPF()
+        rng = np.random.default_rng(seed)
+        objects = make_objects(rng, r, extent=25.0, n_range=(1, 25))
+        candidates = make_candidates(rng, m, extent=25.0)
+        na = NaiveAlgorithm().select(objects, candidates, pf, tau)
+        vo = PinocchioVO().select(objects, candidates, pf, tau)
+        star = PinocchioVOStar().select(objects, candidates, pf, tau)
+        assert vo.best_influence == na.best_influence
+        assert star.best_influence == na.best_influence
+
+
+class TestStrategies:
+    def test_strategy1_skips_candidates(self, pf, rng):
+        # Plenty of clearly inferior candidates: Strategy 1 must skip some.
+        objects = make_objects(rng, 40, extent=20.0, spread=2.0)
+        near = make_candidates(rng, 5, extent=20.0)
+        far = [
+            type(near[0])(100 + j, 1000.0 + j, 1000.0) for j in range(30)
+        ]
+        vo = PinocchioVO().select(objects, near + far, pf, 0.7)
+        assert vo.instrumentation.candidates_skipped_strategy1 > 0
+
+    def test_strategy2_saves_positions(self, pf, rng):
+        objects = make_objects(rng, 30, extent=15.0, n_range=(40, 80), spread=2.0)
+        candidates = make_candidates(rng, 20, extent=15.0)
+        vo = PinocchioVO().select(objects, candidates, pf, 0.4)
+        inst = vo.instrumentation
+        if inst.positions_total:
+            assert inst.positions_evaluated <= inst.positions_total
+
+    def test_vo_validates_fewer_pairs_than_star(self, pf, rng):
+        objects = make_objects(rng, 30)
+        candidates = make_candidates(rng, 25)
+        vo = PinocchioVO().select(objects, candidates, pf, 0.7)
+        star = PinocchioVOStar().select(objects, candidates, pf, 0.7)
+        assert (
+            vo.instrumentation.pairs_validated
+            <= star.instrumentation.pairs_validated
+        )
+
+    def test_star_has_no_pruning(self, pf, rng):
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 10)
+        star = PinocchioVOStar().select(objects, candidates, pf, 0.7)
+        assert star.instrumentation.pairs_pruned_ia == 0
+        assert star.instrumentation.pairs_pruned_nib == 0
+
+    def test_heap_pops_bounded(self, pf, rng):
+        objects = make_objects(rng, 15)
+        candidates = make_candidates(rng, 20)
+        vo = PinocchioVO().select(objects, candidates, pf, 0.6)
+        assert vo.instrumentation.heap_pops <= len(candidates)
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(ValueError):
+            PinocchioVO(kernel="fpga")
+
+
+class TestEdgeCases:
+    def test_single_object_single_candidate(self, pf, rng):
+        objects = make_objects(rng, 1, n_range=(3, 3))
+        candidates = make_candidates(rng, 1)
+        vo = PinocchioVO().select(objects, candidates, pf, 0.5)
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.5)
+        assert vo.best_influence == na.best_influence
+
+    def test_zero_influence_everywhere(self, pf, rng):
+        # Candidates so far away that no object is influenced.
+        objects = make_objects(rng, 5, extent=5.0, n_range=(1, 3))
+        candidates = [
+            type(make_candidates(rng, 1)[0])(j, 1e6, 1e6) for j in range(4)
+        ]
+        vo = PinocchioVO().select(objects, candidates, pf, 0.9)
+        assert vo.best_influence == 0
+
+    def test_all_candidates_certain(self, pf, rng):
+        # Tiny extent, low tau: everything in everyone's IA region.
+        objects = make_objects(rng, 8, extent=1.0, spread=0.1, n_range=(10, 20))
+        candidates = make_candidates(rng, 5, extent=1.0)
+        vo = PinocchioVO().select(objects, candidates, pf, 0.1)
+        assert vo.best_influence == 8

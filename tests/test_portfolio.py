@@ -1,0 +1,100 @@
+"""Tests for multi-location (portfolio) selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naive import NaiveAlgorithm, exact_probability
+from repro.core.portfolio import (
+    exact_portfolio,
+    greedy_portfolio,
+    influence_bitsets,
+)
+from repro.prob import PowerLawPF
+
+from tests.helpers import make_candidates, make_objects
+
+
+class TestInfluenceBitsets:
+    def test_matches_pairwise_probabilities(self, pf, rng):
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 8)
+        tau = 0.6
+        masks = influence_bitsets(objects, candidates, pf, tau)
+        assert len(masks) == 8
+        for j, cand in enumerate(candidates):
+            for i, obj in enumerate(objects):
+                expected = exact_probability(obj, cand.x, cand.y, pf) >= tau - 1e-12
+                assert bool(masks[j][i]) == expected
+
+    def test_counts_match_naive(self, pf, rng):
+        objects = make_objects(rng, 12)
+        candidates = make_candidates(rng, 10)
+        masks = influence_bitsets(objects, candidates, pf, 0.7)
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.7)
+        for j in range(10):
+            assert int(np.count_nonzero(masks[j])) == na.influences[j]
+
+
+class TestGreedyPortfolio:
+    def test_k1_equals_single_best(self, pf, rng):
+        objects = make_objects(rng, 15)
+        candidates = make_candidates(rng, 10)
+        chosen, covered = greedy_portfolio(objects, candidates, pf, 0.6, k=1)
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.6)
+        assert len(chosen) == 1
+        assert covered == na.best_influence
+
+    def test_coverage_monotone_in_k(self, pf, rng):
+        objects = make_objects(rng, 20)
+        candidates = make_candidates(rng, 12)
+        coverages = [
+            greedy_portfolio(objects, candidates, pf, 0.7, k=k)[1]
+            for k in (1, 2, 4, 8)
+        ]
+        assert coverages == sorted(coverages)
+
+    def test_stops_when_nothing_to_gain(self, pf, rng):
+        # Far-away duplicate candidates add nothing: greedy stops early.
+        objects = make_objects(rng, 10, extent=5.0)
+        near = make_candidates(rng, 2, extent=5.0)
+        far = [type(near[0])(10 + j, 1e5, 1e5) for j in range(5)]
+        chosen, covered = greedy_portfolio(objects, near + far, pf, 0.5, k=6)
+        assert all(j < 2 for j in chosen)
+
+    def test_greedy_achieves_1_minus_1_over_e(self, pf, rng):
+        # On small instances, compare to the exact optimum.
+        for trial in range(5):
+            trial_rng = np.random.default_rng(trial)
+            objects = make_objects(trial_rng, 15, extent=25.0)
+            candidates = make_candidates(trial_rng, 8, extent=25.0)
+            __, greedy_cov = greedy_portfolio(objects, candidates, pf, 0.7, k=3)
+            __, exact_cov = exact_portfolio(objects, candidates, pf, 0.7, k=3)
+            assert greedy_cov >= (1 - 1 / np.e) * exact_cov - 1e-9
+            assert greedy_cov <= exact_cov
+
+    def test_k_validation(self, pf, rng):
+        objects = make_objects(rng, 3)
+        candidates = make_candidates(rng, 3)
+        with pytest.raises(ValueError):
+            greedy_portfolio(objects, candidates, pf, 0.5, k=0)
+        with pytest.raises(ValueError):
+            exact_portfolio(objects, candidates, pf, 0.5, k=0)
+
+    def test_k_larger_than_m(self, pf, rng):
+        objects = make_objects(rng, 8)
+        candidates = make_candidates(rng, 3)
+        chosen, covered = greedy_portfolio(objects, candidates, pf, 0.5, k=10)
+        assert len(chosen) <= 3
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500), k=st.integers(1, 4))
+    def test_greedy_bound_property(self, seed, k):
+        pf = PowerLawPF()
+        rng = np.random.default_rng(seed)
+        objects = make_objects(rng, 10, extent=20.0, n_range=(1, 10))
+        candidates = make_candidates(rng, 6, extent=20.0)
+        __, greedy_cov = greedy_portfolio(objects, candidates, pf, 0.7, k=k)
+        __, exact_cov = exact_portfolio(objects, candidates, pf, 0.7, k=k)
+        assert (1 - 1 / np.e) * exact_cov - 1e-9 <= greedy_cov <= exact_cov

@@ -1,0 +1,172 @@
+"""Tests for the probability-function substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prob import (
+    ConcavePF,
+    ConvexPF,
+    ExponentialPF,
+    LinearPF,
+    LogsigPF,
+    PowerLawPF,
+)
+
+ALL_PFS = [
+    PowerLawPF(),
+    PowerLawPF(rho=0.5, lam=0.75),
+    PowerLawPF(rho=0.7, lam=1.25),
+    LogsigPF(),
+    LogsigPF(rho=0.9, scale=2.0),
+    ConvexPF(),
+    ConcavePF(),
+    LinearPF(),
+    ExponentialPF(),
+]
+
+
+@pytest.mark.parametrize("pf", ALL_PFS, ids=lambda f: repr(f))
+class TestCommonContract:
+    def test_monotone_decreasing(self, pf):
+        pf.check_monotone()
+
+    def test_values_are_probabilities(self, pf):
+        d = np.linspace(0, 50, 200)
+        p = pf(d)
+        assert np.all(p >= 0.0)
+        assert np.all(p <= 1.0)
+
+    def test_scalar_returns_float(self, pf):
+        assert isinstance(pf(1.5), float)
+
+    def test_vector_matches_scalar(self, pf):
+        ds = np.array([0.0, 0.3, 1.7, 9.9, 42.0])
+        vec = pf(ds)
+        for i, d in enumerate(ds):
+            assert vec[i] == pytest.approx(pf(float(d)))
+
+    def test_inverse_round_trip(self, pf):
+        for frac in (0.999, 0.7, 0.4, 0.1, 0.01):
+            p = pf.max_probability * frac
+            d = pf.inverse(p)
+            assert pf(d) == pytest.approx(p, abs=1e-9)
+
+    def test_inverse_rejects_zero_and_negative(self, pf):
+        with pytest.raises(ValueError):
+            pf.inverse(0.0)
+        with pytest.raises(ValueError):
+            pf.inverse(-0.2)
+
+    def test_inverse_rejects_above_max(self, pf):
+        with pytest.raises(ValueError):
+            pf.inverse(pf.max_probability * 1.5 + 0.1)
+
+    def test_max_probability_is_value_at_zero(self, pf):
+        assert pf.max_probability == pytest.approx(float(pf(0.0)))
+
+    def test_support_radius(self, pf):
+        r = pf.support_radius(min_prob=1e-6)
+        assert float(pf(r)) <= 1e-6 + 1e-9
+
+
+class TestPowerLaw:
+    def test_paper_default_at_zero(self):
+        assert PowerLawPF()(0.0) == pytest.approx(0.9)
+
+    def test_power_law_shape(self):
+        pf = PowerLawPF(rho=0.9, lam=1.0, d0=1.0)
+        assert pf(1.0) == pytest.approx(0.45)
+        assert pf(9.0) == pytest.approx(0.09)
+
+    def test_lambda_controls_decay(self):
+        slow = PowerLawPF(lam=0.75)
+        fast = PowerLawPF(lam=1.25)
+        assert slow(10.0) > fast(10.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PowerLawPF(rho=0.0)
+        with pytest.raises(ValueError):
+            PowerLawPF(rho=1.5)
+        with pytest.raises(ValueError):
+            PowerLawPF(lam=0.0)
+        with pytest.raises(ValueError):
+            PowerLawPF(d0=0.0)
+
+    def test_rejects_pf0_above_one(self):
+        with pytest.raises(ValueError):
+            PowerLawPF(rho=0.9, lam=1.0, d0=0.5)  # 0.9 / 0.5 = 1.8 > 1
+
+    @settings(max_examples=60)
+    @given(st.floats(0.01, 0.89))
+    def test_inverse_property(self, p):
+        pf = PowerLawPF()
+        assert pf(pf.inverse(p)) == pytest.approx(p, rel=1e-9)
+
+
+class TestSigmoidFamily:
+    def test_logsig_paper_form(self):
+        # logsig(d) = rho / (1 + e^d) with rho = 0.5 (Fig 16a).
+        pf = LogsigPF(rho=0.5, scale=1.0)
+        assert pf(0.0) == pytest.approx(0.25)
+        assert pf(1.0) == pytest.approx(0.5 / (1 + np.e))
+
+    def test_convex_hits_rho_at_zero_and_zero_at_scale(self):
+        pf = ConvexPF(rho=0.5, scale=10.0)
+        assert pf(0.0) == pytest.approx(0.5)
+        assert pf(10.0) == pytest.approx(0.0, abs=1e-12)
+        assert pf(15.0) == 0.0
+
+    def test_concave_hits_rho_at_zero_and_zero_at_scale(self):
+        pf = ConcavePF(rho=0.5, scale=10.0)
+        assert pf(0.0) == pytest.approx(0.5)
+        assert pf(10.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_convexity_direction(self):
+        convex = ConvexPF(rho=0.5, scale=10.0, steepness=0.5)
+        concave = ConcavePF(rho=0.5, scale=10.0, steepness=0.5)
+        d = np.linspace(0, 10, 101)
+        mid_convex = convex(d)
+        mid_concave = concave(d)
+        # Convex: chord above curve; concave: chord below curve.
+        chord = np.linspace(float(mid_convex[0]), float(mid_convex[-1]), 101)
+        assert np.all(mid_convex <= chord + 1e-9)
+        chord_c = np.linspace(float(mid_concave[0]), float(mid_concave[-1]), 101)
+        assert np.all(mid_concave >= chord_c - 1e-9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LogsigPF(rho=0.0)
+        with pytest.raises(ValueError):
+            LogsigPF(scale=-1.0)
+        with pytest.raises(ValueError):
+            ConvexPF(steepness=0.0)
+        with pytest.raises(ValueError):
+            ConcavePF(scale=0.0)
+
+
+class TestLinearAndExponential:
+    def test_linear_values(self):
+        pf = LinearPF(rho=0.5, scale=10.0)
+        assert pf(0.0) == pytest.approx(0.5)
+        assert pf(5.0) == pytest.approx(0.25)
+        assert pf(10.0) == 0.0
+        assert pf(20.0) == 0.0
+
+    def test_linear_inverse(self):
+        pf = LinearPF(rho=0.5, scale=10.0)
+        assert pf.inverse(0.25) == pytest.approx(5.0)
+
+    def test_exponential_halves_at_log2_lengths(self):
+        pf = ExponentialPF(rho=0.8, length=2.0)
+        assert pf(2.0 * np.log(2)) == pytest.approx(0.4)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LinearPF(scale=0.0)
+        with pytest.raises(ValueError):
+            ExponentialPF(length=-2.0)
+        with pytest.raises(ValueError):
+            ExponentialPF(rho=1.2)

@@ -1,0 +1,134 @@
+"""Tests for candidate classification (IA / band / NIB split)."""
+
+import numpy as np
+import pytest
+
+from repro.core.object_table import ObjectTable
+from repro.core.pruning import (
+    classify_candidates,
+    classify_chunk,
+    classify_chunks,
+)
+from repro.index import RTree
+from repro.prob import PowerLawPF
+
+from tests.helpers import make_candidates, make_objects
+
+
+def brute_split(entry, cand_xy):
+    """The three-way split computed straight from the definitions."""
+    certain, maybe, pruned = [], [], []
+    for j, (x, y) in enumerate(cand_xy):
+        if entry.mbr.max_dist(x, y) <= entry.radius:
+            certain.append(j)
+        elif entry.mbr.min_dist(x, y) > entry.radius:
+            pruned.append(j)
+        else:
+            maybe.append(j)
+    return certain, maybe, pruned
+
+
+@pytest.fixture()
+def table_and_candidates(pf, rng):
+    objects = make_objects(rng, 15, extent=50.0, n_range=(1, 30))
+    candidates = make_candidates(rng, 80, extent=50.0)
+    cand_xy = np.array([(c.x, c.y) for c in candidates])
+    table = ObjectTable(objects, pf, 0.7)
+    return table, cand_xy
+
+
+class TestClassifyCandidates:
+    def test_matches_brute_force_with_rtree(self, table_and_candidates):
+        table, cand_xy = table_and_candidates
+        rtree = RTree.bulk_load(cand_xy)
+        for entry in table:
+            outcome = classify_candidates(entry, cand_xy, rtree)
+            certain, maybe, pruned = brute_split(entry, cand_xy)
+            assert sorted(outcome.certain.tolist()) == certain
+            assert sorted(outcome.maybe.tolist()) == maybe
+            assert outcome.pruned_nib == len(pruned)
+
+    def test_matches_brute_force_without_rtree(self, table_and_candidates):
+        table, cand_xy = table_and_candidates
+        for entry in table:
+            outcome = classify_candidates(entry, cand_xy, None)
+            certain, maybe, pruned = brute_split(entry, cand_xy)
+            assert sorted(outcome.certain.tolist()) == certain
+            assert sorted(outcome.maybe.tolist()) == maybe
+            assert outcome.pruned_nib == len(pruned)
+
+    def test_partition_is_complete(self, table_and_candidates):
+        table, cand_xy = table_and_candidates
+        m = cand_xy.shape[0]
+        rtree = RTree.bulk_load(cand_xy)
+        for entry in table:
+            outcome = classify_candidates(entry, cand_xy, rtree)
+            assert (
+                outcome.certain.size + outcome.maybe.size + outcome.pruned_nib == m
+            )
+            overlap = set(outcome.certain.tolist()) & set(outcome.maybe.tolist())
+            assert not overlap
+
+
+class TestClassifyChunk:
+    def test_matches_per_object_classification(self, table_and_candidates):
+        table, cand_xy = table_and_candidates
+        ia, band = classify_chunk(table.entries, cand_xy)
+        for i, entry in enumerate(table.entries):
+            certain, maybe, _ = brute_split(entry, cand_xy)
+            assert sorted(np.nonzero(ia[i])[0].tolist()) == certain
+            assert sorted(np.nonzero(band[i])[0].tolist()) == maybe
+
+    def test_ia_and_band_disjoint(self, table_and_candidates):
+        table, cand_xy = table_and_candidates
+        ia, band = classify_chunk(table.entries, cand_xy)
+        assert not np.any(ia & band)
+
+    def test_chunks_cover_all_entries(self, table_and_candidates):
+        table, cand_xy = table_and_candidates
+        seen = 0
+        for chunk, ia, band in classify_chunks(table.entries, cand_xy, chunk_size=4):
+            assert ia.shape == (len(chunk), cand_xy.shape[0])
+            assert band.shape == ia.shape
+            seen += len(chunk)
+        assert seen == len(table.entries)
+
+    def test_chunking_invariant_to_chunk_size(self, table_and_candidates):
+        table, cand_xy = table_and_candidates
+        full_ia, full_band = classify_chunk(table.entries, cand_xy)
+        rows_ia, rows_band = [], []
+        for chunk, ia, band in classify_chunks(table.entries, cand_xy, chunk_size=3):
+            rows_ia.append(ia)
+            rows_band.append(band)
+        np.testing.assert_array_equal(np.vstack(rows_ia), full_ia)
+        np.testing.assert_array_equal(np.vstack(rows_band), full_band)
+
+
+class TestEdgeCases:
+    def test_all_candidates_far_away(self, pf, rng):
+        objects = make_objects(rng, 3, extent=5.0, n_range=(2, 4))
+        table = ObjectTable(objects, pf, 0.9)
+        cand_xy = np.array([[1e5, 1e5], [-1e5, -1e5]])
+        for entry in table:
+            outcome = classify_candidates(entry, cand_xy, None)
+            assert outcome.certain.size == 0
+            assert outcome.maybe.size == 0
+            assert outcome.pruned_nib == 2
+
+    def test_candidate_in_mbr_is_never_nib_pruned(self, pf, rng):
+        # minDist is zero inside the MBR, so the NIB rule can't fire.
+        objects = make_objects(rng, 5, extent=20.0, n_range=(5, 30))
+        table = ObjectTable(objects, pf, 0.9)
+        for entry in table:
+            center = entry.mbr.center
+            cand_xy = np.array([[center.x, center.y]])
+            outcome = classify_candidates(entry, cand_xy, None)
+            assert outcome.pruned_nib == 0
+
+    def test_empty_rtree_query_result(self, pf, rng):
+        objects = make_objects(rng, 2, extent=5.0)
+        table = ObjectTable(objects, pf, 0.9)
+        cand_xy = np.array([[1e4, 1e4]])
+        rtree = RTree.bulk_load(cand_xy)
+        outcome = classify_candidates(table.entries[0], cand_xy, rtree)
+        assert outcome.pruned_nib == 1

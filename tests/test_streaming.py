@@ -1,0 +1,148 @@
+"""Tests for the sliding-window PRIME-LS extension."""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.core.naive import NaiveAlgorithm
+from repro.core.streaming import SlidingWindowPrimeLS
+from repro.model import MovingObject
+from repro.prob import LinearPF
+
+from tests.helpers import make_candidates
+
+
+def replay_batch(windows, candidates, pf, tau):
+    objects = [
+        MovingObject(oid, np.array(win)) for oid, win in sorted(windows.items())
+    ]
+    return NaiveAlgorithm().select(objects, candidates, pf, tau).influences
+
+
+class TestSlidingWindow:
+    def test_matches_batch_replay(self, pf, rng):
+        candidates = make_candidates(rng, 15, extent=20.0)
+        sw = SlidingWindowPrimeLS(pf, 0.6, window=8)
+        for cand in candidates:
+            sw.add_candidate(cand)
+        windows: dict[int, deque] = {}
+        for _ in range(400):
+            oid = int(rng.integers(0, 10))
+            x, y = rng.uniform(0, 20, 2)
+            sw.observe(oid, x, y)
+            windows.setdefault(oid, deque(maxlen=8)).append((x, y))
+        expected = replay_batch(windows, candidates, pf, 0.6)
+        for j, cand in enumerate(candidates):
+            assert sw.influence_of(cand.candidate_id) == expected[j]
+
+    def test_eviction_respects_window(self, pf, rng):
+        sw = SlidingWindowPrimeLS(pf, 0.5, window=3)
+        for i in range(10):
+            sw.observe(0, float(i), 0.0)
+        window = sw.window_of(0)
+        assert window.shape == (3, 2)
+        np.testing.assert_allclose(window[:, 0], [7.0, 8.0, 9.0])
+
+    def test_moving_object_influence_follows_it(self, pf):
+        # One candidate at the origin; the object drifts away and the
+        # candidate must lose its influence once the window slides out.
+        candidates = make_candidates(np.random.default_rng(0), 1, extent=0.1)
+        cand = candidates[0]
+        sw = SlidingWindowPrimeLS(pf, 0.6, window=5)
+        sw.add_candidate(cand)
+        for _ in range(5):
+            sw.observe(0, cand.x, cand.y)
+        assert sw.influence_of(cand.candidate_id) == 1
+        for _ in range(5):
+            sw.observe(0, cand.x + 500.0, cand.y + 500.0)
+        assert sw.influence_of(cand.candidate_id) == 0
+
+    def test_candidate_added_after_stream(self, pf, rng):
+        candidates = make_candidates(rng, 6, extent=15.0)
+        sw = SlidingWindowPrimeLS(pf, 0.6, window=6)
+        windows: dict[int, deque] = {}
+        for _ in range(200):
+            oid = int(rng.integers(0, 6))
+            x, y = rng.uniform(0, 15, 2)
+            sw.observe(oid, x, y)
+            windows.setdefault(oid, deque(maxlen=6)).append((x, y))
+        for cand in candidates:
+            sw.add_candidate(cand)
+        expected = replay_batch(windows, candidates, pf, 0.6)
+        for j, cand in enumerate(candidates):
+            assert sw.influence_of(cand.candidate_id) == expected[j]
+
+    def test_forget_object(self, pf, rng):
+        candidates = make_candidates(rng, 5, extent=10.0)
+        sw = SlidingWindowPrimeLS(pf, 0.5, window=4)
+        for cand in candidates:
+            sw.add_candidate(cand)
+        windows: dict[int, deque] = {}
+        for _ in range(100):
+            oid = int(rng.integers(0, 4))
+            x, y = rng.uniform(0, 10, 2)
+            sw.observe(oid, x, y)
+            windows.setdefault(oid, deque(maxlen=4)).append((x, y))
+        sw.forget_object(2)
+        del windows[2]
+        expected = replay_batch(windows, candidates, pf, 0.5)
+        for j, cand in enumerate(candidates):
+            assert sw.influence_of(cand.candidate_id) == expected[j]
+
+    def test_forget_unknown_raises(self, pf):
+        sw = SlidingWindowPrimeLS(pf, 0.5)
+        with pytest.raises(KeyError):
+            sw.forget_object(1)
+
+    def test_duplicate_candidate_raises(self, pf, rng):
+        sw = SlidingWindowPrimeLS(pf, 0.5)
+        cand = make_candidates(rng, 1)[0]
+        sw.add_candidate(cand)
+        with pytest.raises(KeyError):
+            sw.add_candidate(cand)
+
+    def test_optimal_location(self, pf, rng):
+        candidates = make_candidates(rng, 8, extent=12.0)
+        sw = SlidingWindowPrimeLS(pf, 0.6, window=5)
+        for cand in candidates:
+            sw.add_candidate(cand)
+        windows: dict[int, deque] = {}
+        for _ in range(150):
+            oid = int(rng.integers(0, 7))
+            x, y = rng.uniform(0, 12, 2)
+            sw.observe(oid, x, y)
+            windows.setdefault(oid, deque(maxlen=5)).append((x, y))
+        expected = replay_batch(windows, candidates, pf, 0.6)
+        _, influence = sw.optimal_location()
+        assert influence == max(expected.values())
+
+    def test_optimal_without_candidates_raises(self, pf):
+        sw = SlidingWindowPrimeLS(pf, 0.5)
+        with pytest.raises(ValueError):
+            sw.optimal_location()
+
+    def test_parameter_validation(self, pf):
+        with pytest.raises(ValueError):
+            SlidingWindowPrimeLS(pf, 0.0)
+        with pytest.raises(ValueError):
+            SlidingWindowPrimeLS(pf, 0.5, window=0)
+
+    def test_growing_window_changes_radius_correctly(self):
+        # A bounded PF where a 1-position window is uninfluenceable at
+        # tau but longer windows are: the radius flips from None to a
+        # value as the window grows, and bookkeeping must stay exact.
+        pf = LinearPF(rho=0.5, scale=10.0)
+        rng = np.random.default_rng(1)
+        candidates = make_candidates(rng, 4, extent=2.0)
+        sw = SlidingWindowPrimeLS(pf, 0.7, window=10)
+        for cand in candidates:
+            sw.add_candidate(cand)
+        windows: dict[int, deque] = {}
+        for i in range(30):
+            x, y = rng.uniform(0, 2, 2)
+            sw.observe(0, x, y)
+            windows.setdefault(0, deque(maxlen=10)).append((x, y))
+            expected = replay_batch(windows, candidates, pf, 0.7)
+            for j, cand in enumerate(candidates):
+                assert sw.influence_of(cand.candidate_id) == expected[j], i

@@ -1,0 +1,168 @@
+"""Property-based checks of the paper's Theorems 1-2 and Lemmas 2-4.
+
+These are the load-bearing guarantees behind PINOCCHIO's pruning: if
+any of them failed, the algorithms would return wrong influences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.influence import cumulative_probability
+from repro.core.minmax_radius import min_max_radius
+from repro.geo.mbr import MBR
+from repro.prob import ExponentialPF, LinearPF, PowerLawPF
+
+PFS = [PowerLawPF(), PowerLawPF(rho=0.5, lam=1.25), ExponentialPF(), LinearPF(rho=0.5, scale=30.0)]
+
+
+def positions_strategy(max_n=60, extent=40.0):
+    return st.builds(
+        lambda seed, n: np.random.default_rng(seed).uniform(0, extent, size=(n, 2)),
+        st.integers(0, 10_000),
+        st.integers(1, max_n),
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    positions=positions_strategy(),
+    tau=st.floats(0.05, 0.95),
+    seed=st.integers(0, 10_000),
+    pf_idx=st.integers(0, len(PFS) - 1),
+)
+def test_theorem1_all_positions_inside_radius_implies_influence(
+    positions, tau, seed, pf_idx
+):
+    """Theorem 1: candidate within minMaxRadius of every position ⇒
+    cumulative probability ≥ τ."""
+    pf = PFS[pf_idx]
+    n = positions.shape[0]
+    radius = min_max_radius(pf, tau, n)
+    if radius is None:
+        return
+    rng = np.random.default_rng(seed)
+    # Place the candidate so that maxDist(c, all positions) <= radius:
+    # any point within radius of the farthest position works only if
+    # all positions fit in the circle; force it by shrinking positions
+    # around their centroid until the spread is below the radius.
+    centroid = positions.mean(axis=0)
+    spread = np.max(np.hypot(*(positions - centroid).T)) or 1.0
+    if spread > radius:
+        positions = centroid + (positions - centroid) * (radius / spread) * 0.99
+    cx, cy = centroid + rng.uniform(-0.001, 0.001, size=2)
+    max_dist = np.max(np.hypot(positions[:, 0] - cx, positions[:, 1] - cy))
+    if max_dist <= radius:
+        assert cumulative_probability(pf, positions, cx, cy) >= tau - 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    positions=positions_strategy(),
+    tau=st.floats(0.05, 0.95),
+    angle=st.floats(0, 2 * np.pi),
+    margin=st.floats(0.01, 50.0),
+    pf_idx=st.integers(0, len(PFS) - 1),
+)
+def test_theorem2_all_positions_outside_radius_implies_no_influence(
+    positions, tau, angle, margin, pf_idx
+):
+    """Theorem 2: candidate farther than minMaxRadius from every
+    position ⇒ cumulative probability < τ."""
+    pf = PFS[pf_idx]
+    n = positions.shape[0]
+    radius = min_max_radius(pf, tau, n)
+    if radius is None:
+        # Uninfluenceable at any distance: probability must be < tau
+        # even at distance zero from every position.
+        assert cumulative_probability(pf, positions, *positions[0]) < tau + 1e-12
+        return
+    # Put the candidate outside the radius of the *nearest* position.
+    centroid = positions.mean(axis=0)
+    spread = np.max(np.hypot(*(positions - centroid).T))
+    d = spread + radius + margin
+    cx = centroid[0] + d * np.cos(angle)
+    cy = centroid[1] + d * np.sin(angle)
+    min_dist = np.min(np.hypot(positions[:, 0] - cx, positions[:, 1] - cy))
+    assert min_dist > radius
+    assert cumulative_probability(pf, positions, cx, cy) < tau + 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    positions=positions_strategy(),
+    tau=st.floats(0.05, 0.95),
+    qx=st.floats(-60, 100),
+    qy=st.floats(-60, 100),
+)
+def test_lemma2_ia_membership_implies_influence(positions, tau, qx, qy):
+    """Lemma 2 via maxDist: candidate with maxDist(c, MBR) ≤ radius
+    influences the object."""
+    pf = PowerLawPF()
+    radius = min_max_radius(pf, tau, positions.shape[0])
+    if radius is None:
+        return
+    mbr = MBR.from_array(positions)
+    if mbr.max_dist(qx, qy) <= radius:
+        assert cumulative_probability(pf, positions, qx, qy) >= tau - 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    positions=positions_strategy(),
+    tau=st.floats(0.05, 0.95),
+    qx=st.floats(-60, 100),
+    qy=st.floats(-60, 100),
+)
+def test_lemma3_outside_nib_implies_no_influence(positions, tau, qx, qy):
+    """Lemma 3 via minDist: candidate with minDist(c, MBR) > radius
+    cannot influence the object."""
+    pf = PowerLawPF()
+    radius = min_max_radius(pf, tau, positions.shape[0])
+    if radius is None:
+        return
+    mbr = MBR.from_array(positions)
+    if mbr.min_dist(qx, qy) > radius:
+        assert cumulative_probability(pf, positions, qx, qy) < tau + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    positions=positions_strategy(max_n=30),
+    tau=st.floats(0.05, 0.95),
+    n_prime=st.integers(1, 29),
+)
+def test_lemma4_partial_non_influence_early_stop(positions, tau, n_prime):
+    """Lemma 4: if the partial non-influence probability over a prefix
+    is ≤ 1 − τ, the object is influenced regardless of the rest."""
+    pf = PowerLawPF()
+    n = positions.shape[0]
+    if n_prime >= n:
+        return
+    cx, cy = positions.mean(axis=0)
+    prefix = positions[:n_prime]
+    partial = np.prod(
+        1 - pf(np.hypot(prefix[:, 0] - cx, prefix[:, 1] - cy))
+    )
+    if partial <= 1 - tau:
+        assert cumulative_probability(pf, positions, cx, cy) >= tau - 1e-9
+
+
+class TestDegenerateMBRRemark:
+    """§4.2 Remark: a single-position object degenerates to classic LS."""
+
+    def test_point_object_both_rules_coincide(self):
+        pf = PowerLawPF()
+        tau = 0.5
+        radius = min_max_radius(pf, tau, 1)
+        positions = np.array([[10.0, 10.0]])
+        mbr = MBR.from_array(positions)
+        assert mbr.is_point()
+        # For a point MBR, minDist == maxDist: IA and NIB describe the
+        # same circle, so every candidate is decided without validation.
+        for qx, qy in [(10.0, 10.0), (10.0 + radius, 10.0), (30.0, 30.0)]:
+            assert mbr.min_dist(qx, qy) == pytest.approx(mbr.max_dist(qx, qy))
+            inside = mbr.max_dist(qx, qy) <= radius
+            influenced = cumulative_probability(pf, positions, qx, qy) >= tau
+            assert inside == influenced

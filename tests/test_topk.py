@@ -1,0 +1,89 @@
+"""Tests for top-k PRIME-LS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naive import NaiveAlgorithm
+from repro.core.topk import TopKPrimeLS, top_k_locations
+from repro.prob import PowerLawPF
+
+from tests.helpers import make_candidates, make_objects
+
+
+def reference_topk(objects, candidates, pf, tau, k):
+    na = NaiveAlgorithm().select(objects, candidates, pf, tau)
+    return na.ranking()[:k]
+
+
+class TestTopK:
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_matches_naive_ranking_values(self, pf, rng, k):
+        objects = make_objects(rng, 25)
+        candidates = make_candidates(rng, 20)
+        solver = TopKPrimeLS(k=k)
+        result = solver.select(objects, candidates, pf, 0.6)
+        got = solver.top_k_of(result)
+        expected = reference_topk(objects, candidates, pf, 0.6, k)
+        # Influence values must match exactly; indexes may differ only
+        # between tied candidates.
+        assert [v for _, v in got] == [v for _, v in expected]
+
+    def test_k1_equals_pinvo(self, pf, rng):
+        from repro.core.pinocchio_vo import PinocchioVO
+
+        objects = make_objects(rng, 20)
+        candidates = make_candidates(rng, 15)
+        top1 = TopKPrimeLS(k=1).select(objects, candidates, pf, 0.7)
+        vo = PinocchioVO().select(objects, candidates, pf, 0.7)
+        assert top1.best_influence == vo.best_influence
+
+    def test_k_larger_than_m_returns_all(self, pf, rng):
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 5)
+        solver = TopKPrimeLS(k=50)
+        result = solver.select(objects, candidates, pf, 0.5)
+        assert len(result.influences) == 5
+        na = NaiveAlgorithm().select(objects, candidates, pf, 0.5)
+        assert result.influences == na.influences
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKPrimeLS(k=0)
+
+    def test_convenience_wrapper(self, pf, rng):
+        objects = make_objects(rng, 15)
+        candidates = make_candidates(rng, 12)
+        top3 = top_k_locations(objects, candidates, pf, 0.6, k=3)
+        assert len(top3) == 3
+        values = [v for _, v in top3]
+        assert values == sorted(values, reverse=True)
+
+    def test_skips_candidates_when_k_small(self, pf, rng):
+        # With many clearly inferior candidates, top-k must not
+        # validate everything.
+        objects = make_objects(rng, 40, extent=20.0, spread=2.0)
+        near = make_candidates(rng, 5, extent=20.0)
+        far = [type(near[0])(100 + j, 900.0 + j, 900.0) for j in range(40)]
+        result = TopKPrimeLS(k=2).select(objects, near + far, pf, 0.7)
+        assert result.instrumentation.candidates_skipped_strategy1 > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2_000),
+        k=st.integers(1, 8),
+        tau=st.floats(0.1, 0.9),
+    )
+    def test_random_instances_property(self, seed, k, tau):
+        pf = PowerLawPF()
+        rng = np.random.default_rng(seed)
+        objects = make_objects(rng, 12, extent=25.0, n_range=(1, 20))
+        candidates = make_candidates(rng, 10, extent=25.0)
+        solver = TopKPrimeLS(k=k)
+        result = solver.select(objects, candidates, pf, tau)
+        got = [v for _, v in solver.top_k_of(result)]
+        expected = [
+            v for _, v in reference_topk(objects, candidates, pf, tau, k)
+        ]
+        assert got == expected

@@ -1,0 +1,99 @@
+"""Tests for continuous trajectories and their discretisation."""
+
+import numpy as np
+import pytest
+
+from repro.model.trajectory import Trajectory, daily_commuter_trajectory
+
+
+@pytest.fixture()
+def simple_trajectory():
+    return Trajectory(
+        0,
+        times=np.array([0.0, 1.0, 3.0]),
+        waypoints=np.array([[0.0, 0.0], [2.0, 0.0], [2.0, 4.0]]),
+    )
+
+
+class TestTrajectory:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trajectory(0, np.array([0.0]), np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            Trajectory(0, np.array([0.0, 0.0]), np.zeros((2, 2)))  # not increasing
+        with pytest.raises(ValueError):
+            Trajectory(0, np.array([0.0, 1.0]), np.zeros((3, 2)))  # misaligned
+
+    def test_position_at_waypoints(self, simple_trajectory):
+        np.testing.assert_allclose(simple_trajectory.position_at(0.0), [0, 0])
+        np.testing.assert_allclose(simple_trajectory.position_at(1.0), [2, 0])
+        np.testing.assert_allclose(simple_trajectory.position_at(3.0), [2, 4])
+
+    def test_linear_interpolation(self, simple_trajectory):
+        np.testing.assert_allclose(simple_trajectory.position_at(0.5), [1, 0])
+        np.testing.assert_allclose(simple_trajectory.position_at(2.0), [2, 2])
+
+    def test_clamping_outside_span(self, simple_trajectory):
+        np.testing.assert_allclose(simple_trajectory.position_at(-5.0), [0, 0])
+        np.testing.assert_allclose(simple_trajectory.position_at(99.0), [2, 4])
+
+    def test_positions_at_vectorised(self, simple_trajectory):
+        ts = np.array([0.0, 0.5, 2.0])
+        pts = simple_trajectory.positions_at(ts)
+        assert pts.shape == (3, 2)
+        np.testing.assert_allclose(pts[1], [1, 0])
+
+    def test_duration_and_length(self, simple_trajectory):
+        assert simple_trajectory.duration == 3.0
+        # Path: 2 km east then 4 km north.
+        assert simple_trajectory.length_km(samples=1001) == pytest.approx(6.0, rel=1e-3)
+
+    def test_resample_counts_and_span(self, simple_trajectory):
+        obj = simple_trajectory.resample(7)
+        assert obj.n_positions == 7
+        np.testing.assert_allclose(obj.positions[0], [0, 0])
+        np.testing.assert_allclose(obj.positions[-1], [2, 4])
+
+    def test_resample_validation(self, simple_trajectory):
+        with pytest.raises(ValueError):
+            simple_trajectory.resample(0)
+        with pytest.raises(ValueError):
+            simple_trajectory.resample(5, jitter_km=0.1)  # rng required
+
+    def test_resample_with_jitter(self, simple_trajectory):
+        rng = np.random.default_rng(0)
+        obj = simple_trajectory.resample(20, jitter_km=0.1, rng=rng)
+        clean = simple_trajectory.resample(20)
+        assert not np.allclose(obj.positions, clean.positions)
+        # Jitter is small: positions stay near the path.
+        assert np.max(np.abs(obj.positions - clean.positions)) < 1.0
+
+    def test_dense_resampling_converges(self, simple_trajectory):
+        # Increasing the sampling density keeps the MBR stable.
+        coarse = simple_trajectory.resample(8).mbr
+        fine = simple_trajectory.resample(512).mbr
+        assert abs(coarse.area - fine.area) / fine.area < 0.1
+
+
+class TestCommuterTrajectory:
+    def test_periodic_structure(self):
+        rng = np.random.default_rng(5)
+        traj = daily_commuter_trajectory(0, (0.0, 0.0), (10.0, 0.0), rng, days=3)
+        assert traj.duration >= 24.0 * 2
+        # At 3am the commuter is home-ish; at noon work-ish.
+        home_pos = traj.position_at(24.0 + 3.0)
+        work_pos = traj.position_at(24.0 + 12.0)
+        assert np.hypot(*home_pos) < 2.0
+        assert np.hypot(work_pos[0] - 10.0, work_pos[1]) < 2.0
+
+    def test_days_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            daily_commuter_trajectory(0, (0, 0), (1, 1), rng, days=0)
+
+    def test_resamples_into_moving_object(self):
+        rng = np.random.default_rng(6)
+        traj = daily_commuter_trajectory(1, (0.0, 0.0), (8.0, 3.0), rng)
+        obj = traj.resample(48)
+        assert obj.object_id == 1
+        assert obj.n_positions == 48

@@ -1,0 +1,102 @@
+"""Tests for PRIME-LS over uncertain positions."""
+
+import numpy as np
+import pytest
+
+from repro.core.naive import NaiveAlgorithm
+from repro.core.uncertain import UncertainPrimeLS
+from repro.prob import PowerLawPF
+
+from tests.helpers import make_candidates, make_objects
+
+
+class TestUncertainPrimeLS:
+    def test_zero_sigma_reduces_to_exact(self, pf, rng):
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 8)
+        exact = NaiveAlgorithm().select(objects, candidates, pf, 0.6)
+        uncertain = UncertainPrimeLS(sigma_km=0.0, worlds=4).select(
+            objects, candidates, pf, 0.6
+        )
+        for j in range(8):
+            assert uncertain.expected_influence[j] == pytest.approx(
+                float(exact.influences[j])
+            )
+            # Every per-object probability is 0 or 1 in the zero-noise case.
+            p = uncertain.influence_probability[j]
+            assert set(np.unique(p)).issubset({0.0, 1.0})
+
+    def test_deterministic_given_seed(self, pf, rng):
+        objects = make_objects(rng, 6)
+        candidates = make_candidates(rng, 5)
+        a = UncertainPrimeLS(0.5, worlds=16, seed=3).select(
+            objects, candidates, pf, 0.6
+        )
+        b = UncertainPrimeLS(0.5, worlds=16, seed=3).select(
+            objects, candidates, pf, 0.6
+        )
+        assert a.expected_influence == b.expected_influence
+
+    def test_probabilities_are_valid(self, pf, rng):
+        objects = make_objects(rng, 8)
+        candidates = make_candidates(rng, 6)
+        result = UncertainPrimeLS(0.3, worlds=32).select(
+            objects, candidates, pf, 0.5
+        )
+        for p in result.influence_probability:
+            assert np.all(p >= 0.0) and np.all(p <= 1.0)
+
+    def test_small_noise_close_to_exact(self, pf, rng):
+        objects = make_objects(rng, 12)
+        candidates = make_candidates(rng, 6)
+        exact = NaiveAlgorithm().select(objects, candidates, pf, 0.6)
+        result = UncertainPrimeLS(0.01, worlds=32, seed=1).select(
+            objects, candidates, pf, 0.6
+        )
+        for j in range(6):
+            assert result.expected_influence[j] == pytest.approx(
+                float(exact.influences[j]), abs=1.0
+            )
+
+    def test_confidence_halfwidth(self, pf, rng):
+        objects = make_objects(rng, 10)
+        candidates = make_candidates(rng, 4)
+        result = UncertainPrimeLS(0.5, worlds=32, seed=2).select(
+            objects, candidates, pf, 0.6
+        )
+        hw = result.confidence_halfwidth(result.best_index)
+        assert hw >= 0.0
+        # More worlds shrink the half-width.
+        result_more = UncertainPrimeLS(0.5, worlds=128, seed=2).select(
+            objects, candidates, pf, 0.6
+        )
+        assert result_more.confidence_halfwidth(result_more.best_index) <= hw + 1e-9
+
+    def test_validation(self, pf, rng):
+        objects = make_objects(rng, 2)
+        candidates = make_candidates(rng, 2)
+        with pytest.raises(ValueError):
+            UncertainPrimeLS(-0.1)
+        with pytest.raises(ValueError):
+            UncertainPrimeLS(0.1, worlds=0)
+        solver = UncertainPrimeLS(0.1)
+        with pytest.raises(ValueError):
+            solver.select([], candidates, pf, 0.5)
+        with pytest.raises(ValueError):
+            solver.select(objects, candidates, pf, 1.0)
+
+    def test_heavy_noise_blurs_boundary_objects(self):
+        # An object exactly at the influence boundary becomes a coin
+        # flip under symmetric noise.
+        pf = PowerLawPF()
+        tau = 0.5
+        from repro.model import Candidate, MovingObject
+
+        boundary_d = pf.inverse(tau)  # single position at this distance
+        obj = MovingObject(0, np.array([[boundary_d, 0.0]]))
+        cand = Candidate(0, 0.0, 0.0)
+        result = UncertainPrimeLS(0.5, worlds=400, seed=5).select(
+            [obj], [cand], pf, tau
+        )
+        p = float(result.influence_probability[0][0])
+        assert 0.2 < p < 0.8
