@@ -1,0 +1,70 @@
+"""Serving-engine benchmarks: warm-vs-cold queries and worker scaling.
+
+Two workloads over one reused fleet Ω (the serving shape the engine
+amortises):
+
+* ``test_bench_serve_warm_vs_cold`` — the acceptance benchmark: a
+  stream of repeated ``(candidates, PF, τ)`` queries answered cold
+  (stateless ``select_location``, fleet materialised per query) and
+  warm (primed :class:`~repro.engine.QueryEngine`).  Warm must win.
+* ``test_bench_worker_scaling`` — the same stream with candidate-axis
+  sharding at several worker counts, confirming the sharded path stays
+  bit-identical while reporting its latency.  On single-core runners
+  this measures fork overhead, not speedup; the identity check is the
+  point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import fork_available, run_serve_bench
+from repro.experiments.tables import TextTable
+
+from conftest import run_once
+
+
+def test_bench_serve_warm_vs_cold(benchmark, record):
+    result = run_once(
+        benchmark, lambda: run_serve_bench(n_queries=9, workers=0)
+    )
+    record("engine_serve_warm_vs_cold", result.render())
+    assert result.speedup() > 1.0, (
+        f"warm engine must beat cold select_location, got "
+        f"{result.speedup():.2f}x"
+    )
+    assert result.cache_hits > 0
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+def test_bench_worker_scaling(benchmark, record):
+    def sweep():
+        return [
+            (workers, run_serve_bench(n_queries=6, workers=workers))
+            for workers in (0, 2, 4)
+        ]
+
+    results = run_once(benchmark, sweep)
+    table = TextTable(
+        ["workers", "cold ms", "warm ms", "speedup", "cache hits"]
+    )
+    baseline = results[0][1]
+    for workers, result in results:
+        # Sharding must never change the answer (also asserted, with
+        # full influence tables, in tests/test_engine.py).
+        assert result.cache_hits == baseline.cache_hits
+        assert result.cache_misses == baseline.cache_misses
+        table.add_row(
+            [
+                workers,
+                sum(result.cold_ms),
+                sum(result.warm_ms),
+                result.speedup(),
+                result.cache_hits,
+            ],
+            float_fmt="{:.2f}",
+        )
+    record(
+        "engine_worker_scaling",
+        table.render(title="serve-bench worker scaling (PIN-VO)"),
+    )

@@ -44,6 +44,7 @@ __version__ = "1.0.0"
 __all__ = [
     "select_location",
     "rank_candidates",
+    "QueryEngine",
     "ALGORITHMS",
     "make_algorithm",
     "MovingObject",
@@ -130,3 +131,8 @@ def rank_candidates(
         objects, candidates, pf, tau, algorithm=algorithm, **algorithm_kwargs
     )
     return result.ranking()
+
+
+# Imported last: the engine package builds on select_location and the
+# registry above (it re-imports repro at query time).
+from repro.engine import QueryEngine  # noqa: E402

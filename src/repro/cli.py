@@ -143,6 +143,53 @@ def _cmd_export(registry, name: str, out_csv: str) -> int:
     return 0
 
 
+def _cmd_serve_bench(queries: int, workers: int, out_csv: str | None) -> int:
+    """Run the warm-vs-cold serving benchmark (see repro.engine.bench)."""
+    from repro.engine import run_serve_bench
+
+    if queries < 1:
+        print(f"--queries must be >= 1, got {queries}", file=sys.stderr)
+        return 2
+    if workers < 0:
+        print(f"--workers must be >= 0, got {workers}", file=sys.stderr)
+        return 2
+    result = run_serve_bench(n_queries=queries, workers=workers)
+    print(result.render())
+    if out_csv:
+        from repro.experiments.export import export_result
+
+        print(f"\nCSV written to {export_result(result, out_csv)}")
+    return 0
+
+
+#: which option flags each command actually consumes; anything else on
+#: the command line would be silently dropped, so we reject it instead
+_ALLOWED_FLAGS = {
+    "demo": {"--svg"},
+    "serve-bench": {"--csv", "--queries", "--workers"},
+    "list": set(),
+    "report": set(),
+    "all": set(),
+}
+_EXPERIMENT_FLAGS = {"--csv"}
+
+
+def _check_flags(command: str, provided: set[str], is_experiment: bool) -> int:
+    """Exit code 0 if every provided flag is consumed, else 2."""
+    allowed = _EXPERIMENT_FLAGS if is_experiment else _ALLOWED_FLAGS.get(
+        command, set()
+    )
+    ignored = sorted(provided - allowed)
+    if not ignored:
+        return 0
+    print(
+        f"prime-ls {command}: {', '.join(ignored)} "
+        f"{'is' if len(ignored) == 1 else 'are'} not used by this command",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     registry = _registry()
@@ -154,7 +201,10 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         nargs="?",
         default="list",
-        help="experiment name, 'all', 'list' (default), or 'demo'",
+        help=(
+            "experiment name, 'all', 'list' (default), 'demo', or "
+            "'serve-bench'"
+        ),
     )
     parser.add_argument(
         "--svg",
@@ -166,7 +216,35 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="export the experiment's sweep series to a CSV file",
     )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with 'serve-bench': number of measured queries (default 12)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with 'serve-bench': worker processes (default 0 = serial)",
+    )
     args = parser.parse_args(argv)
+
+    provided = set()
+    if args.svg is not None:
+        provided.add("--svg")
+    if args.csv is not None:
+        provided.add("--csv")
+    if args.queries is not None:
+        provided.add("--queries")
+    if args.workers is not None:
+        provided.add("--workers")
+    is_experiment = args.experiment in registry
+    code = _check_flags(args.experiment, provided, is_experiment)
+    if code:
+        return code
 
     if args.experiment == "list":
         width = max(len(name) for name in registry)
@@ -175,6 +253,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "demo":
         return _cmd_demo(args.svg)
+    if args.experiment == "serve-bench":
+        return _cmd_serve_bench(
+            queries=args.queries if args.queries is not None else 12,
+            workers=args.workers if args.workers is not None else 0,
+            out_csv=args.csv,
+        )
     if args.experiment == "report":
         from repro.experiments.report import generate_report
 

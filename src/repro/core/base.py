@@ -4,11 +4,13 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.object_table import ObjectTable
 from repro.core.result import LSResult
+from repro.index.rtree import RTree
 from repro.model.candidate import Candidate
 from repro.model.moving_object import MovingObject
 from repro.prob.base import ProbabilityFunction
@@ -35,6 +37,27 @@ class LocationSelector(ABC):
 
     #: short name used in result records and bench tables
     name: str = "base"
+
+    #: optional hook injected by serving layers (:mod:`repro.engine`):
+    #: given ``(objects, pf, tau)``, returns a (possibly cached)
+    #: :class:`ObjectTable` instead of building a fresh one per call
+    table_factory: Callable[..., ObjectTable] | None = None
+
+    #: optional hook returning a (possibly cached) candidate R-tree for
+    #: ``(cand_xy, max_entries)``
+    rtree_factory: Callable[..., RTree] | None = None
+
+    def _object_table(self, objects, pf, tau) -> ObjectTable:
+        """The ``A2D`` table for this run, via the injected cache if any."""
+        if self.table_factory is not None:
+            return self.table_factory(objects, pf, tau)
+        return ObjectTable(objects, pf, tau)
+
+    def _candidate_rtree(self, cand_xy: np.ndarray, max_entries: int) -> RTree:
+        """The candidate R-tree, via the injected cache if any."""
+        if self.rtree_factory is not None:
+            return self.rtree_factory(cand_xy, max_entries)
+        return RTree.bulk_load(cand_xy, max_entries=max_entries)
 
     def select(
         self,

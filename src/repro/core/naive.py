@@ -24,7 +24,7 @@ from repro.core.influence import (
     log1m_safe,
     validate_pair,
 )
-from repro.core.result import Instrumentation, LSResult
+from repro.core.result import Instrumentation, LSResult, full_table_result
 from repro.model.candidate import Candidate
 from repro.model.moving_object import MovingObject
 from repro.prob.base import ProbabilityFunction
@@ -49,44 +49,50 @@ class NaiveAlgorithm(LocationSelector):
     ) -> LSResult:
         counters = Instrumentation()
         counters.pairs_total = len(objects) * len(candidates)
-        log_threshold = influence_threshold_log(tau)
+        cand_xy = candidates_to_array(candidates)
         if self.kernel == "vector":
-            influences = self._run_vector(objects, candidates, pf, log_threshold, counters)
+            influence = self.compute_influence(objects, cand_xy, pf, tau, counters)
         else:
-            influences = self._run_scalar(objects, candidates, pf, log_threshold, counters)
-        best_idx = max(influences, key=lambda idx: (influences[idx], -idx))
-        return LSResult(
-            algorithm=self.name,
-            best_candidate=candidates[best_idx],
-            best_influence=influences[best_idx],
-            influences=influences,
-            elapsed_seconds=0.0,
-            instrumentation=counters,
-        )
+            log_threshold = influence_threshold_log(tau)
+            influence = self._run_scalar(
+                objects, candidates, pf, log_threshold, counters
+            )
+        return full_table_result(self.name, candidates, influence, counters)
 
-    def _run_vector(
+    def compute_influence(
         self,
         objects: list[MovingObject],
-        candidates: list[Candidate],
+        cand_xy: np.ndarray,
         pf: ProbabilityFunction,
-        log_threshold: float,
+        tau: float,
         counters: Instrumentation,
-    ) -> dict[int, int]:
+    ) -> np.ndarray:
+        """Exhaustive influence counts for every column of ``cand_xy``.
+
+        Candidate columns are independent, so the serving engine shards
+        this across worker processes and concatenates the results
+        (bit-identical to a full-width call).  NA has no pruning phase:
+        all its time lands in ``validation_seconds``.
+        """
         all_xy = np.concatenate([o.positions for o in objects], axis=0)
         lengths = np.array([o.n_positions for o in objects])
         offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
-        cand_xy = candidates_to_array(candidates)
-        influences: dict[int, int] = {}
+        log_threshold = influence_threshold_log(tau)
+        m = cand_xy.shape[0]
+        influence = np.zeros(m, dtype=int)
         n_total = all_xy.shape[0]
-        for j in range(cand_xy.shape[0]):
-            d = np.hypot(all_xy[:, 0] - cand_xy[j, 0], all_xy[:, 1] - cand_xy[j, 1])
-            logs = log1m_safe(pf(d))
-            per_object = np.add.reduceat(logs, offsets)
-            influences[j] = int(np.count_nonzero(per_object <= log_threshold))
-            counters.pairs_validated += len(objects)
-            counters.positions_total += n_total
-            counters.positions_evaluated += n_total
-        return influences
+        with counters.phase("validation"):
+            for j in range(m):
+                d = np.hypot(
+                    all_xy[:, 0] - cand_xy[j, 0], all_xy[:, 1] - cand_xy[j, 1]
+                )
+                logs = log1m_safe(pf(d))
+                per_object = np.add.reduceat(logs, offsets)
+                influence[j] = int(np.count_nonzero(per_object <= log_threshold))
+                counters.pairs_validated += len(objects)
+                counters.positions_total += n_total
+                counters.positions_evaluated += n_total
+        return influence
 
     def _run_scalar(
         self,
@@ -97,22 +103,23 @@ class NaiveAlgorithm(LocationSelector):
         counters: Instrumentation,
     ) -> dict[int, int]:
         influences: dict[int, int] = {}
-        for j, cand in enumerate(candidates):
-            count = 0
-            for obj in objects:
-                influenced = validate_pair(
-                    pf,
-                    obj.positions,
-                    cand.x,
-                    cand.y,
-                    log_threshold,
-                    counters=counters,
-                    kernel="scalar",
-                    early_stop=False,
-                )
-                if influenced:
-                    count += 1
-            influences[j] = count
+        with counters.phase("validation"):
+            for j, cand in enumerate(candidates):
+                count = 0
+                for obj in objects:
+                    influenced = validate_pair(
+                        pf,
+                        obj.positions,
+                        cand.x,
+                        cand.y,
+                        log_threshold,
+                        counters=counters,
+                        kernel="scalar",
+                        early_stop=False,
+                    )
+                    if influenced:
+                        count += 1
+                influences[j] = count
         return influences
 
 

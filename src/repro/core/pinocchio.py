@@ -9,6 +9,8 @@ touched (Fig 10).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.base import LocationSelector, candidates_to_array
@@ -19,8 +21,7 @@ from repro.core.influence import (
 )
 from repro.core.object_table import ObjectTable
 from repro.core.pruning import classify_candidates, classify_chunks
-from repro.core.result import Instrumentation, LSResult
-from repro.index.rtree import RTree
+from repro.core.result import Instrumentation, LSResult, full_table_result
 from repro.model.candidate import Candidate
 from repro.model.moving_object import MovingObject
 from repro.prob.base import ProbabilityFunction
@@ -55,53 +56,80 @@ class Pinocchio(LocationSelector):
         tau: float,
     ) -> LSResult:
         counters = Instrumentation()
-        table = ObjectTable(objects, pf, tau)
+        table = self._object_table(objects, pf, tau)
         counters.dead_objects = table.dead_objects
         cand_xy = candidates_to_array(candidates)
+        counters.pairs_total = table.live_count * cand_xy.shape[0]
+        influence = self.compute_influence(table, cand_xy, pf, tau, counters)
+        return full_table_result(self.name, candidates, influence, counters)
+
+    def compute_influence(
+        self,
+        table: ObjectTable,
+        cand_xy: np.ndarray,
+        pf: ProbabilityFunction,
+        tau: float,
+        counters: Instrumentation,
+    ) -> np.ndarray:
+        """Exact influence counts for every column of ``cand_xy``.
+
+        Each candidate column is resolved independently of the others,
+        so callers (the serving engine) may shard the candidate axis
+        across worker processes and concatenate the returned arrays —
+        the merged result is bit-identical to a single full-width call.
+        ``counters`` receives this shard's work counts and per-phase
+        times; ``pairs_total``/``dead_objects`` are the caller's job.
+        """
         m = cand_xy.shape[0]
-        counters.pairs_total = table.live_count * m
         log_threshold = influence_threshold_log(tau)
         influence = np.zeros(m, dtype=int)
 
         if self.use_rtree:
-            rtree = RTree.bulk_load(cand_xy, max_entries=self.rtree_max_entries)
+            with counters.phase("pruning"):
+                rtree = self._candidate_rtree(cand_xy, self.rtree_max_entries)
             for entry in table:
-                outcome = classify_candidates(entry, cand_xy, rtree)
-                counters.pairs_pruned_ia += outcome.certain.size
-                counters.pairs_pruned_nib += outcome.pruned_nib
-                influence[outcome.certain] += 1
+                with counters.phase("pruning"):
+                    outcome = classify_candidates(entry, cand_xy, rtree)
+                    counters.pairs_pruned_ia += outcome.certain.size
+                    counters.pairs_pruned_nib += outcome.pruned_nib
+                    influence[outcome.certain] += 1
                 if outcome.maybe.size:
-                    self._validate_band(
-                        entry, outcome.maybe, cand_xy, pf,
-                        log_threshold, influence, counters,
-                    )
-        else:
-            for chunk, ia, band in classify_chunks(table.entries, cand_xy):
-                ia_count = int(np.count_nonzero(ia))
-                band_count = int(np.count_nonzero(band))
-                counters.pairs_pruned_ia += ia_count
-                counters.pairs_pruned_nib += len(chunk) * m - ia_count - band_count
-                influence += ia.sum(axis=0)
-                rows, cols = np.nonzero(band)
-                boundaries = np.searchsorted(rows, np.arange(len(chunk) + 1))
-                for i, entry in enumerate(chunk):
-                    maybe = cols[boundaries[i] : boundaries[i + 1]]
-                    if maybe.size:
+                    with counters.phase("validation"):
                         self._validate_band(
-                            entry, maybe, cand_xy, pf,
+                            entry, outcome.maybe, cand_xy, pf,
                             log_threshold, influence, counters,
                         )
-
-        influences = {j: int(influence[j]) for j in range(m)}
-        best_idx = max(influences, key=lambda idx: (influences[idx], -idx))
-        return LSResult(
-            algorithm=self.name,
-            best_candidate=candidates[best_idx],
-            best_influence=influences[best_idx],
-            influences=influences,
-            elapsed_seconds=0.0,
-            instrumentation=counters,
-        )
+        else:
+            # The generator computes each chunk's classification inside
+            # next(), so the loop is unrolled manually to attribute
+            # classification and validation to their phases.
+            chunks = classify_chunks(table.entries, cand_xy)
+            while True:
+                started = time.perf_counter()
+                item = next(chunks, None)
+                if item is not None:
+                    chunk, ia, band = item
+                    ia_count = int(np.count_nonzero(ia))
+                    band_count = int(np.count_nonzero(band))
+                    counters.pairs_pruned_ia += ia_count
+                    counters.pairs_pruned_nib += (
+                        len(chunk) * m - ia_count - band_count
+                    )
+                    influence += ia.sum(axis=0)
+                    rows, cols = np.nonzero(band)
+                    boundaries = np.searchsorted(rows, np.arange(len(chunk) + 1))
+                counters.pruning_seconds += time.perf_counter() - started
+                if item is None:
+                    break
+                with counters.phase("validation"):
+                    for i, entry in enumerate(chunk):
+                        maybe = cols[boundaries[i] : boundaries[i + 1]]
+                        if maybe.size:
+                            self._validate_band(
+                                entry, maybe, cand_xy, pf,
+                                log_threshold, influence, counters,
+                            )
+        return influence
 
     def _validate_band(
         self,

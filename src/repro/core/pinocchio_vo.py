@@ -35,6 +35,7 @@ strategies cut work.
 from __future__ import annotations
 
 import heapq
+import time
 
 import numpy as np
 
@@ -48,7 +49,6 @@ from repro.core.influence import (
 from repro.core.object_table import ObjectEntry, ObjectTable
 from repro.core.pruning import classify_candidates, classify_chunks
 from repro.core.result import Instrumentation, LSResult
-from repro.index.rtree import RTree
 from repro.model.candidate import Candidate
 from repro.model.moving_object import MovingObject
 from repro.prob.base import ProbabilityFunction
@@ -97,14 +97,38 @@ class PinocchioVO(LocationSelector):
         tau: float,
     ) -> LSResult:
         counters = Instrumentation()
-        table = ObjectTable(objects, pf, tau)
+        table = self._object_table(objects, pf, tau)
         counters.dead_objects = table.dead_objects
         cand_xy = candidates_to_array(candidates)
-        m = cand_xy.shape[0]
-        counters.pairs_total = table.live_count * m
-        log_threshold = influence_threshold_log(tau)
+        counters.pairs_total = table.live_count * cand_xy.shape[0]
 
-        min_inf, vs_indexes = self._pruning_phase(table, cand_xy, counters)
+        with counters.phase("pruning"):
+            min_inf, vs_indexes = self.pruning_phase(table, cand_xy, counters)
+        return self.validation_phase(
+            table, candidates, cand_xy, pf, tau, counters, min_inf, vs_indexes
+        )
+
+    def validation_phase(
+        self,
+        table: ObjectTable,
+        candidates: list[Candidate],
+        cand_xy: np.ndarray,
+        pf: ProbabilityFunction,
+        tau: float,
+        counters: Instrumentation,
+        min_inf: np.ndarray,
+        vs_indexes: list[np.ndarray],
+    ) -> LSResult:
+        """Strategy-1/2 validation given the pruning phase's output.
+
+        Split out so the serving engine can run the pruning phase
+        sharded across worker processes (candidate columns are
+        independent) and feed the merged ``minInf``/``VS`` arrays into
+        the inherently sequential heap loop here.
+        """
+        m = cand_xy.shape[0]
+        log_threshold = influence_threshold_log(tau)
+        timer_started = time.perf_counter()
 
         # maxInf(c) = minInf(c) + |VS(c)| (see module docstring).
         max_inf = min_inf + np.array([v.size for v in vs_indexes], dtype=int)
@@ -137,6 +161,7 @@ class PinocchioVO(LocationSelector):
             ):
                 best_idx = j
             maxmin_inf = max(maxmin_inf, int(min_inf[j]))
+        counters.validation_seconds += time.perf_counter() - timer_started
 
         # The winner is always fully validated by the time the loop
         # stops: a candidate holding the current maxminInf as a pure
@@ -157,7 +182,7 @@ class PinocchioVO(LocationSelector):
     # ------------------------------------------------------------------
     # Pruning phase
     # ------------------------------------------------------------------
-    def _pruning_phase(
+    def pruning_phase(
         self,
         table: ObjectTable,
         cand_xy: np.ndarray,
@@ -210,7 +235,7 @@ class PinocchioVO(LocationSelector):
         min_inf: np.ndarray,
     ) -> tuple[np.ndarray, list[np.ndarray]]:
         m = cand_xy.shape[0]
-        rtree = RTree.bulk_load(cand_xy, max_entries=self.rtree_max_entries)
+        rtree = self._candidate_rtree(cand_xy, self.rtree_max_entries)
         sets: list[list[int]] = [[] for _ in range(m)]
         for i, entry in enumerate(table.entries):
             outcome = classify_candidates(entry, cand_xy, rtree)

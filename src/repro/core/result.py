@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields
 
 from repro.model.candidate import Candidate
 
@@ -42,6 +44,35 @@ class Instrumentation:
     candidates_skipped_strategy1: int = 0
     #: heap pops performed by PIN-VO
     heap_pops: int = 0
+    #: wall-clock seconds spent in the pruning phase (IA/NIB
+    #: classification, including index construction/queries); when a
+    #: query is sharded across worker processes this is the *sum* of
+    #: per-shard phase times, i.e. aggregate work, not wall time
+    pruning_seconds: float = 0.0
+    #: wall-clock seconds spent in exact validation (same sharding caveat)
+    validation_seconds: float = 0.0
+
+    def merge(self, other: "Instrumentation") -> None:
+        """Accumulate another shard's (or phase's) counters into this one.
+
+        Every field is additive — integer work counters and the
+        per-phase second accumulators alike — so merging worker-process
+        shards reproduces the serial counters exactly.
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a ``with`` block into ``pruning_seconds``/``validation_seconds``."""
+        attr = f"{name}_seconds"
+        if not hasattr(self, attr):
+            raise ValueError(f"unknown phase {name!r}")
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            setattr(self, attr, getattr(self, attr) + time.perf_counter() - started)
 
     def pruned_fraction(self) -> float:
         """Fraction of object-candidate pairs resolved without validation."""
@@ -54,6 +85,32 @@ class Instrumentation:
         if self.positions_total == 0:
             return 0.0
         return 1.0 - self.positions_evaluated / self.positions_total
+
+
+def full_table_result(
+    algorithm: str,
+    candidates,
+    influence,
+    counters: "Instrumentation",
+) -> "LSResult":
+    """Build an :class:`LSResult` from a full influence table.
+
+    ``influence`` is indexable by candidate position (an array or a
+    dict).  The winner is the highest influence, ties broken by the
+    lowest candidate index — every full-table path (NA, PIN, and the
+    engine's sharded merges) goes through here so the tie-break is a
+    single piece of code.
+    """
+    influences = {j: int(influence[j]) for j in range(len(influence))}
+    best_idx = max(influences, key=lambda idx: (influences[idx], -idx))
+    return LSResult(
+        algorithm=algorithm,
+        best_candidate=candidates[best_idx],
+        best_influence=influences[best_idx],
+        influences=influences,
+        elapsed_seconds=0.0,
+        instrumentation=counters,
+    )
 
 
 @dataclass

@@ -28,25 +28,21 @@ from repro.core.object_table import ObjectTable
 from repro.prob.base import ProbabilityFunction
 
 
-class _KthBestTracker:
-    """Maintains the k-th largest certified influence seen so far."""
+def _kth_best_lower_bound(min_inf: np.ndarray, k: int) -> int:
+    """The k-th largest certified lower bound across distinct candidates.
 
-    def __init__(self, k: int):
-        self.k = k
-        self._heap: list[int] = []  # min-heap of the top-k values
-
-    def offer(self, value: int) -> None:
-        if len(self._heap) < self.k:
-            heapq.heappush(self._heap, value)
-        elif value > self._heap[0]:
-            heapq.heapreplace(self._heap, value)
-
-    @property
-    def threshold(self) -> int:
-        """The k-th best value (0 until k values have been offered)."""
-        if len(self._heap) < self.k:
-            return 0
-        return self._heap[0]
+    A candidate whose upper bound falls strictly below this value cannot
+    be in the top-k: k *other* candidates are certified to beat it.  The
+    bound must be taken over candidates, not over a stream of offered
+    values — a candidate whose lower bound is offered once at seeding
+    and again after validation would count twice, inflating the
+    threshold and wrongly abandoning true top-k members.  With fewer
+    than k candidates nothing may ever be abandoned.
+    """
+    m = min_inf.shape[0]
+    if m < k:
+        return 0
+    return int(np.partition(min_inf, m - k)[m - k])
 
 
 class TopKPrimeLS(LocationSelector):
@@ -83,15 +79,12 @@ class TopKPrimeLS(LocationSelector):
 
         # Reuse PIN-VO's pruning phase verbatim.
         pruner = PinocchioVO()
-        min_inf, vs_indexes = pruner._pruning_phase(table, cand_xy, counters)
+        min_inf, vs_indexes = pruner.pruning_phase(table, cand_xy, counters)
         max_inf = min_inf + np.array([v.size for v in vs_indexes], dtype=int)
 
-        tracker = _KthBestTracker(self.k)
-        # Lower bounds are certified: seed the tracker with them so the
-        # stop rule is tight from the first pop.
-        for value in sorted(min_inf.tolist(), reverse=True)[: self.k]:
-            tracker.offer(int(value))
-
+        # ``min_inf`` doubles as the per-candidate certified lower bound
+        # and rises in place during validation, so the Strategy-1 stop
+        # threshold is always the k-th largest entry of ``min_inf``.
         fully_validated: dict[int, int] = {}
         heap = [(-int(max_inf[j]), -int(min_inf[j]), j) for j in range(m)]
         heapq.heapify(heap)
@@ -99,7 +92,8 @@ class TopKPrimeLS(LocationSelector):
         while heap:
             _, _, j = heapq.heappop(heap)
             counters.heap_pops += 1
-            if max_inf[j] < tracker.threshold and len(fully_validated) >= self.k:
+            threshold = _kth_best_lower_bound(min_inf, self.k)
+            if max_inf[j] < threshold and len(fully_validated) >= self.k:
                 counters.candidates_skipped_strategy1 += 1 + len(heap)
                 break
             aborted = False
@@ -118,7 +112,7 @@ class TopKPrimeLS(LocationSelector):
                 min_inf[j] += hits
                 max_inf[j] -= batch.size - hits
                 if (
-                    max_inf[j] < tracker.threshold
+                    max_inf[j] < _kth_best_lower_bound(min_inf, self.k)
                     and len(fully_validated) >= self.k
                 ):
                     counters.candidates_skipped_strategy1 += 1
@@ -128,7 +122,6 @@ class TopKPrimeLS(LocationSelector):
                 continue
             counters.candidates_fully_validated += 1
             fully_validated[j] = int(min_inf[j])
-            tracker.offer(int(min_inf[j]))
 
         ordered = sorted(fully_validated.items(), key=lambda kv: (-kv[1], kv[0]))
         best_idx, best_influence = ordered[0]

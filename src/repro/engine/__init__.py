@@ -1,0 +1,22 @@
+"""The serving layer: multi-query sessions over one ingested fleet.
+
+* :mod:`repro.engine.session` — :class:`QueryEngine`, the cross-query
+  cache (object tables per ``(PF, τ)``, candidate arrays and R-trees
+  per candidate set) with hit/miss counters and a JSONL metrics log,
+* :mod:`repro.engine.parallel` — fork-based candidate-axis sharding,
+  bit-identical to serial execution,
+* :mod:`repro.engine.bench` — the warm-vs-cold serving benchmark
+  behind ``prime-ls serve-bench``.
+"""
+
+from repro.engine.bench import ServeBenchResult, run_serve_bench
+from repro.engine.parallel import fork_available
+from repro.engine.session import EngineStats, QueryEngine
+
+__all__ = [
+    "QueryEngine",
+    "EngineStats",
+    "ServeBenchResult",
+    "run_serve_bench",
+    "fork_available",
+]

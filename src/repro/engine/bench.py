@@ -1,0 +1,141 @@
+"""The serving benchmark behind ``prime-ls serve-bench``.
+
+Fires one workload of repeated ``(candidates, PF, τ)`` queries at a
+fixed fleet Ω two ways and reports per-query latencies, the aggregate
+speedup, and the engine's cache counters:
+
+* **cold** — a stateless handler: each query materialises the fleet
+  (fresh ``MovingObject`` instances, so MBRs really are recomputed)
+  and calls ``select_location``, which rebuilds the object table and
+  runs single-threaded — today's per-call behaviour,
+* **warm** — the same queries through one primed
+  :class:`~repro.engine.QueryEngine`, so the object table, candidate
+  array, and PIN-VO pruning output all come from the session caches
+  and only exact validation runs per query.
+
+Reused by ``benchmarks/bench_engine.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import select_location
+from repro.datasets import gowalla_like
+from repro.engine.session import QueryEngine
+from repro.experiments.tables import TextTable
+from repro.model import MovingObject
+from repro.prob import PowerLawPF
+
+#: τ values the workload cycles through — three recurring "tenants"
+TAUS = (0.5, 0.7, 0.8)
+
+
+@dataclass
+class ServeBenchResult:
+    """Per-query cold/warm latencies plus engine cache counters."""
+
+    algorithm: str
+    workers: int
+    n_objects: int
+    n_candidates: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    query: list[int] = field(default_factory=list)
+    tau: list[float] = field(default_factory=list)
+    cold_ms: list[float] = field(default_factory=list)
+    warm_ms: list[float] = field(default_factory=list)
+
+    def speedup(self) -> float:
+        """Total cold time over total warm time (> 1 means warm wins)."""
+        warm = sum(self.warm_ms)
+        return sum(self.cold_ms) / warm if warm else float("inf")
+
+    def render(self) -> str:
+        """The per-query latency table plus totals and cache counters."""
+        table = TextTable(["query", "tau", "cold ms", "warm ms", "speedup"])
+        for i in range(len(self.query)):
+            ratio = (
+                self.cold_ms[i] / self.warm_ms[i]
+                if self.warm_ms[i]
+                else float("inf")
+            )
+            table.add_row(
+                [self.query[i], self.tau[i], self.cold_ms[i],
+                 self.warm_ms[i], ratio],
+                float_fmt="{:.2f}",
+            )
+        lines = [
+            table.render(
+                title=(
+                    f"serve-bench: {self.algorithm}, "
+                    f"{self.n_objects} objects x {self.n_candidates} "
+                    f"candidates, workers={self.workers}"
+                )
+            ),
+            (
+                f"total: cold {sum(self.cold_ms):.1f} ms, "
+                f"warm {sum(self.warm_ms):.1f} ms "
+                f"(speedup {self.speedup():.2f}x)"
+            ),
+            (
+                f"engine caches: {self.cache_hits} hits, "
+                f"{self.cache_misses} misses"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def run_serve_bench(
+    n_queries: int = 12,
+    workers: int = 0,
+    algorithm: str = "PIN-VO",
+    scale: float = 0.1,
+    seed: int = 11,
+    metrics_path=None,
+) -> ServeBenchResult:
+    """Measure warm (engine) versus cold (stateless) query latency.
+
+    The workload repeats ``TAUS`` across ``n_queries`` queries over one
+    candidate set — the shape a serving deployment amortises.  The warm
+    engine is primed with one unmeasured pass over the distinct τ
+    values so the measured queries are all cache hits; the cold path
+    rebuilds the fleet's per-object structures per query (see module
+    docstring).
+    """
+    world = gowalla_like(scale=scale, seed=seed)
+    objects = world.dataset.objects
+    rng = np.random.default_rng(seed)
+    candidates, _ = world.dataset.sample_candidates(24, rng)
+    pf = PowerLawPF()
+    taus = [TAUS[i % len(TAUS)] for i in range(n_queries)]
+
+    result = ServeBenchResult(
+        algorithm=algorithm,
+        workers=workers,
+        n_objects=len(objects),
+        n_candidates=len(candidates),
+    )
+
+    for i, tau in enumerate(taus):
+        started = time.perf_counter()
+        fleet = [MovingObject(o.object_id, o.positions) for o in objects]
+        select_location(fleet, candidates, pf=pf, tau=tau, algorithm=algorithm)
+        result.cold_ms.append((time.perf_counter() - started) * 1000.0)
+        result.query.append(i)
+        result.tau.append(tau)
+
+    engine = QueryEngine(objects, workers=workers, metrics_path=metrics_path)
+    for tau in TAUS:  # priming pass: populate the per-(pf, tau) caches
+        engine.query(candidates, pf=pf, tau=tau, algorithm=algorithm)
+    for tau in taus:
+        started = time.perf_counter()
+        engine.query(candidates, pf=pf, tau=tau, algorithm=algorithm)
+        result.warm_ms.append((time.perf_counter() - started) * 1000.0)
+
+    result.cache_hits = engine.stats.hits
+    result.cache_misses = engine.stats.misses
+    return result

@@ -1,0 +1,125 @@
+"""Process-parallel sharded execution for the serving engine.
+
+The candidate axis is split into contiguous column spans; each worker
+process resolves its span independently and the parent concatenates
+the per-span arrays and merges the work counters.  Because every
+object-candidate pair is computed independently in the sharded phases
+(PIN/NA influence tables, PIN-VO's pruning phase), the merged output
+is bit-identical to the serial path (asserted in tests/test_engine.py).
+PIN-VO's heap-driven validation phase is inherently sequential —
+Strategy 1 compares candidates against a global bound — so it always
+runs in the parent, on the merged pruning output.
+
+Workers are forked, not spawned: the parent publishes the shard
+context (object table, position arrays, candidate coordinates,
+probability function) in a module-level global immediately before
+creating the pool, and the fork inherits it through copy-on-write
+memory.  Only each span's bounds travel to a worker, and only that
+span's result arrays travel back — positions are never pickled per
+task.  On platforms without ``fork`` the engine falls back to serial
+execution (see :meth:`repro.engine.QueryEngine.query`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.result import Instrumentation
+
+
+def fork_available() -> bool:
+    """Whether fork-based worker processes are supported here."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass
+class ShardContext:
+    """Everything a worker needs; inherited via fork, never pickled."""
+
+    solver: Any          # the algorithm instance (Pinocchio/Naive/PinocchioVO)
+    objects: list        # the ingested moving objects
+    table: Any           # the cached ObjectTable (None for NA)
+    cand_xy: np.ndarray  # full (m, 2) candidate coordinates
+    pf: Any
+    tau: float
+
+
+#: shard context published by :func:`run_sharded` right before the pool
+#: forks; module-level so the task functions can reach it by name
+_CONTEXT: ShardContext | None = None
+
+
+def _pin_shard(span: tuple[int, int]):
+    """PIN influence counts for one candidate column span."""
+    lo, hi = span
+    ctx = _CONTEXT
+    counters = Instrumentation()
+    influence = ctx.solver.compute_influence(
+        ctx.table, ctx.cand_xy[lo:hi], ctx.pf, ctx.tau, counters
+    )
+    return lo, hi, influence, counters
+
+
+def _naive_shard(span: tuple[int, int]):
+    """NA influence counts for one candidate column span."""
+    lo, hi = span
+    ctx = _CONTEXT
+    counters = Instrumentation()
+    influence = ctx.solver.compute_influence(
+        ctx.objects, ctx.cand_xy[lo:hi], ctx.pf, ctx.tau, counters
+    )
+    return lo, hi, influence, counters
+
+
+def _vo_pruning_shard(span: tuple[int, int]):
+    """PIN-VO pruning (minInf + verification sets) for one column span."""
+    lo, hi = span
+    ctx = _CONTEXT
+    counters = Instrumentation()
+    with counters.phase("pruning"):
+        min_inf, vs_indexes = ctx.solver.pruning_phase(
+            ctx.table, ctx.cand_xy[lo:hi], counters
+        )
+    return lo, hi, (min_inf, vs_indexes), counters
+
+
+def column_spans(m: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``m`` candidate columns into ≤ ``shards`` contiguous spans."""
+    shards = max(1, min(shards, m))
+    bounds = np.linspace(0, m, shards + 1).astype(int)
+    return [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(shards)
+        if bounds[i] < bounds[i + 1]
+    ]
+
+
+def run_sharded(task, ctx: ShardContext, workers: int) -> list:
+    """Run ``task`` over candidate column spans in forked workers.
+
+    Returns the per-span results in span order.  The pool is created
+    after ``_CONTEXT`` is published so the forked children inherit it.
+    """
+    global _CONTEXT
+    spans = column_spans(ctx.cand_xy.shape[0], workers)
+    if len(spans) == 1:
+        # One span — no point paying the fork; run inline.
+        _CONTEXT = ctx
+        try:
+            return [task(spans[0])]
+        finally:
+            _CONTEXT = None
+    _CONTEXT = ctx
+    try:
+        mp_ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=len(spans), mp_context=mp_ctx
+        ) as pool:
+            return list(pool.map(task, spans))
+    finally:
+        _CONTEXT = None

@@ -1,0 +1,442 @@
+"""The multi-query serving session (``QueryEngine``).
+
+A deployment answers many ``(candidates, PF, τ)`` queries against one
+fleet of moving objects Ω.  ``select_location`` rebuilds the whole
+``A2D`` object table — per-object MBRs plus the ``minMaxRadius`` memo —
+on every call; the engine ingests Ω once and amortises that work:
+
+* **object-table cache** — one :class:`~repro.core.object_table.ObjectTable`
+  (with its :class:`~repro.core.minmax_radius.MinMaxRadiusCache`) is
+  memoised per ``(PF, τ)`` and reused by every query with that pair,
+* **candidate cache** — candidate coordinate arrays, and the candidate
+  R-tree when ``use_rtree=True``, are keyed by the coordinates and
+  reused across queries sharing a candidate set,
+* **pruning cache** — PIN-VO's pruning phase output (``minInf`` and
+  the per-candidate verification sets) is a deterministic function of
+  ``(PF, τ, candidate set)``, so it is memoised too; on a hit only the
+  validation phase runs.  The cached *logical* work counters
+  (``pairs_pruned_*``) are replayed into the query's instrumentation
+  so pruned fractions stay meaningful, while the ``*_seconds`` fields
+  keep reporting the time actually spent,
+* **process parallelism** — ``workers=N`` shards the candidate axis
+  across forked worker processes (see :mod:`repro.engine.parallel`),
+  bit-identical to serial execution,
+* **observability** — hit/miss counters (:class:`EngineStats`) and a
+  per-query JSONL metrics log with per-phase
+  ``pruning_seconds``/``validation_seconds``.
+
+Caches are unbounded: a serving session is expected to see a small,
+recurring set of ``(PF, τ)`` pairs and candidate sets.  Results are
+bit-identical to fresh ``select_location`` calls for every algorithm
+(property-tested in ``tests/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import candidates_to_array
+from repro.core.naive import NaiveAlgorithm
+from repro.core.object_table import ObjectTable
+from repro.core.pinocchio import Pinocchio
+from repro.core.pinocchio_vo import PinocchioVO
+from repro.core.result import Instrumentation, LSResult, full_table_result
+from repro.engine.parallel import (
+    ShardContext,
+    _naive_shard,
+    _pin_shard,
+    _vo_pruning_shard,
+    fork_available,
+    run_sharded,
+)
+from repro.index.rtree import RTree
+from repro.model.candidate import Candidate
+from repro.model.moving_object import MovingObject
+from repro.prob import PowerLawPF
+from repro.prob.base import ProbabilityFunction
+
+
+@dataclass
+class EngineStats:
+    """Cache hit/miss counters proving cross-query reuse."""
+
+    queries: int = 0
+    table_hits: int = 0
+    table_misses: int = 0
+    candidate_hits: int = 0
+    candidate_misses: int = 0
+    rtree_hits: int = 0
+    rtree_misses: int = 0
+    pruning_hits: int = 0
+    pruning_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return (
+            self.table_hits + self.candidate_hits
+            + self.rtree_hits + self.pruning_hits
+        )
+
+    @property
+    def misses(self) -> int:
+        return (
+            self.table_misses + self.candidate_misses
+            + self.rtree_misses + self.pruning_misses
+        )
+
+    def as_dict(self) -> dict:
+        """All counters plus the aggregate ``hits``/``misses`` totals."""
+        out = asdict(self)
+        out["hits"] = self.hits
+        out["misses"] = self.misses
+        return out
+
+
+def _counts_only(counters: Instrumentation) -> Instrumentation:
+    """A copy of ``counters`` with the wall-time fields zeroed.
+
+    Cached pruning output replays the *logical* work counters of the
+    original run, but a cache hit must not claim the original run's
+    seconds.
+    """
+    snapshot = replace(counters)
+    snapshot.pruning_seconds = 0.0
+    snapshot.validation_seconds = 0.0
+    return snapshot
+
+
+def _pf_key(pf: ProbabilityFunction) -> tuple:
+    """A cache key identifying a probability function by its parameters.
+
+    Parameterised PFs define ``__repr__`` exposing their parameters, so
+    equal-parameter instances share cached tables.  For a PF without a
+    custom repr the key falls back to object identity — safe because
+    the cached :class:`ObjectTable` holds a reference to the PF, so its
+    id cannot be recycled while the cache entry lives.
+    """
+    if type(pf).__repr__ is not object.__repr__:
+        return (type(pf).__qualname__, repr(pf))
+    return ("id", id(pf))
+
+
+class QueryEngine:
+    """A serving session over one ingested fleet of moving objects.
+
+    ::
+
+        engine = QueryEngine(objects, workers=4, metrics_path="metrics.jsonl")
+        r1 = engine.query(candidates, pf=pf, tau=0.7, algorithm="PIN")
+        r2 = engine.query(candidates, pf=pf, tau=0.7)   # table + candidates cached
+        engine.stats.table_hits                         # -> 1
+    """
+
+    #: algorithms whose candidate axis the engine can shard across
+    #: worker processes (PIN-VO* inherits from PIN-VO)
+    PARALLEL_ALGORITHMS = ("NA", "PIN", "PIN-VO", "PIN-VO*")
+
+    def __init__(
+        self,
+        objects: Sequence[MovingObject],
+        *,
+        workers: int = 0,
+        metrics_path: str | Path | None = None,
+        default_pf: ProbabilityFunction | None = None,
+    ):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        started = time.perf_counter()
+        self.objects = list(objects)
+        if not self.objects:
+            raise ValueError("need at least one moving object")
+        # Ingest: force every object's lazy MBR memo now so no query
+        # (and no forked worker) pays for it later.  Position arrays
+        # are already materialised, read-only, on the objects.
+        for obj in self.objects:
+            _ = obj.mbr
+        self.ingest_seconds = time.perf_counter() - started
+        self.workers = int(workers)
+        self.stats = EngineStats()
+        self.metrics_path = Path(metrics_path) if metrics_path else None
+        #: in-memory copy of every JSONL metrics record, in query order
+        self.metrics_log: list[dict] = []
+        self._default_pf = default_pf
+        self._tables: dict[tuple, ObjectTable] = {}
+        self._cand_arrays: dict[bytes, np.ndarray] = {}
+        self._rtrees: dict[tuple, RTree] = {}
+        #: (pf, tau, candidates, use_pruning) -> (minInf, VS, counter snapshot)
+        self._prunings: dict[
+            tuple, tuple[np.ndarray, list[np.ndarray], Instrumentation]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+    def table_for(self, pf: ProbabilityFunction, tau: float) -> ObjectTable:
+        """The ``A2D`` table for ``(pf, τ)``, built once and memoised."""
+        key = (_pf_key(pf), float(tau))
+        table = self._tables.get(key)
+        if table is None:
+            self.stats.table_misses += 1
+            table = ObjectTable(self.objects, pf, tau)
+            self._tables[key] = table
+        else:
+            self.stats.table_hits += 1
+        return table
+
+    def _cand_xy_for(self, candidates: Sequence[Candidate]) -> np.ndarray:
+        """The ``(m, 2)`` coordinate array, shared by coordinate-equal sets."""
+        xy = candidates_to_array(candidates)
+        key = xy.tobytes()
+        cached = self._cand_arrays.get(key)
+        if cached is None:
+            self.stats.candidate_misses += 1
+            xy.setflags(write=False)
+            self._cand_arrays[key] = xy
+            return xy
+        self.stats.candidate_hits += 1
+        return cached
+
+    def rtree_for(self, cand_xy: np.ndarray, max_entries: int) -> RTree:
+        """A bulk-loaded candidate R-tree, memoised per candidate set."""
+        key = (cand_xy.tobytes(), int(max_entries))
+        rtree = self._rtrees.get(key)
+        if rtree is None:
+            self.stats.rtree_misses += 1
+            rtree = RTree.bulk_load(cand_xy, max_entries=max_entries)
+            self._rtrees[key] = rtree
+        else:
+            self.stats.rtree_hits += 1
+        return rtree
+
+    def cache_info(self) -> dict:
+        """Sizes of the three caches plus the hit/miss counters."""
+        return {
+            "tables": len(self._tables),
+            "candidate_sets": len(self._cand_arrays),
+            "rtrees": len(self._rtrees),
+            **self.stats.as_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        candidates: Sequence[Candidate],
+        pf: ProbabilityFunction | None = None,
+        tau: float = 0.7,
+        algorithm: str = "PIN-VO",
+        workers: int | None = None,
+        **algorithm_kwargs,
+    ) -> LSResult:
+        """Answer one PRIME-LS query against the ingested fleet.
+
+        Same semantics (and bit-identical results) as
+        ``select_location(objects, candidates, pf, tau, algorithm)``,
+        but per-object and per-candidate work is served from the
+        session caches.  ``workers`` overrides the engine default for
+        this query; sharded execution applies to NA (vector kernel),
+        PIN, and PIN-VO's pruning phase, and falls back to serial for
+        everything else.
+        """
+        # Deferred to dodge the repro <-> repro.engine import cycle:
+        # the package re-exports QueryEngine from its __init__.
+        from repro import make_algorithm
+
+        started = time.perf_counter()
+        if pf is None:
+            if self._default_pf is None:
+                self._default_pf = PowerLawPF()
+            pf = self._default_pf
+        if not 0.0 < tau < 1.0:
+            raise ValueError(f"tau must be in (0, 1), got {tau}")
+        candidates = list(candidates)
+        if not candidates:
+            raise ValueError("need at least one candidate location")
+        workers = self.workers if workers is None else int(workers)
+
+        solver = make_algorithm(algorithm, **algorithm_kwargs)
+        solver.rtree_factory = self.rtree_for
+        cand_xy = self._cand_xy_for(candidates)
+
+        uses_table = isinstance(solver, (Pinocchio, PinocchioVO))
+        table = self.table_for(pf, tau) if uses_table else None
+        parallel = workers > 1 and fork_available()
+
+        if isinstance(solver, PinocchioVO):
+            result = self._query_vo(
+                solver, table, candidates, cand_xy, pf, tau,
+                workers if parallel else 1,
+            )
+            workers_used = workers if parallel else 1
+        else:
+            task = None
+            if parallel:
+                if isinstance(solver, Pinocchio):
+                    task = _pin_shard
+                elif (
+                    isinstance(solver, NaiveAlgorithm)
+                    and solver.kernel == "vector"
+                ):
+                    task = _naive_shard
+            if task is not None:
+                result = self._run_parallel(
+                    solver, task, table, candidates, cand_xy, pf, tau, workers
+                )
+                workers_used = workers
+            else:
+                if table is not None:
+                    solver.table_factory = lambda _objects, _pf, _tau: table
+                result = solver.select(self.objects, candidates, pf, tau)
+                workers_used = 1
+        result.elapsed_seconds = time.perf_counter() - started
+
+        self.stats.queries += 1
+        self._record_metrics(result, pf, tau, len(candidates), workers_used)
+        return result
+
+    def _query_vo(
+        self,
+        solver: PinocchioVO,
+        table: ObjectTable,
+        candidates: list[Candidate],
+        cand_xy: np.ndarray,
+        pf: ProbabilityFunction,
+        tau: float,
+        workers: int,
+    ) -> LSResult:
+        """PIN-VO through the pruning cache, then sequential validation.
+
+        The pruning output is a pure function of the object table and
+        the candidate coordinates, so a hit replays the memoised
+        ``minInf``/``VS`` (and their logical work counters) and goes
+        straight to Strategy-1/2 validation.  On a miss the pruning
+        phase runs — sharded across workers when requested — and its
+        output is stored pristine (validation mutates ``minInf``, so
+        both store and hit hand out copies).
+        """
+        m = cand_xy.shape[0]
+        counters = Instrumentation()
+        counters.dead_objects = table.dead_objects
+        counters.pairs_total = table.live_count * m
+        key = (
+            _pf_key(pf), float(tau), cand_xy.tobytes(), solver.use_pruning
+        )
+        cached = self._prunings.get(key)
+        if cached is None:
+            self.stats.pruning_misses += 1
+            prune_counters = Instrumentation()
+            if workers > 1:
+                ctx = ShardContext(
+                    solver=solver, objects=self.objects, table=table,
+                    cand_xy=cand_xy, pf=pf, tau=tau,
+                )
+                min_inf = np.zeros(m, dtype=int)
+                vs_indexes: list[np.ndarray] = [None] * m  # type: ignore[list-item]
+                for lo, hi, (mi, vs), shard_counters in run_sharded(
+                    _vo_pruning_shard, ctx, workers
+                ):
+                    min_inf[lo:hi] = mi
+                    vs_indexes[lo:hi] = vs
+                    prune_counters.merge(shard_counters)
+            else:
+                with prune_counters.phase("pruning"):
+                    min_inf, vs_indexes = solver.pruning_phase(
+                        table, cand_xy, prune_counters
+                    )
+            self._prunings[key] = (
+                min_inf.copy(), vs_indexes, _counts_only(prune_counters)
+            )
+            counters.merge(prune_counters)
+        else:
+            self.stats.pruning_hits += 1
+            base_min_inf, vs_indexes, snapshot = cached
+            min_inf = base_min_inf.copy()
+            counters.merge(snapshot)
+        return solver.validation_phase(
+            table, candidates, cand_xy, pf, tau, counters, min_inf, vs_indexes
+        )
+
+    def _run_parallel(
+        self,
+        solver,
+        task,
+        table: ObjectTable | None,
+        candidates: list[Candidate],
+        cand_xy: np.ndarray,
+        pf: ProbabilityFunction,
+        tau: float,
+        workers: int,
+    ) -> LSResult:
+        """Sharded full-table execution (NA/PIN); merges spans + counters."""
+        m = cand_xy.shape[0]
+        counters = Instrumentation()
+        if table is not None:
+            counters.dead_objects = table.dead_objects
+            counters.pairs_total = table.live_count * m
+        else:
+            counters.pairs_total = len(self.objects) * m
+        ctx = ShardContext(
+            solver=solver,
+            objects=self.objects,
+            table=table,
+            cand_xy=cand_xy,
+            pf=pf,
+            tau=tau,
+        )
+        influence = np.zeros(m, dtype=int)
+        for lo, hi, shard_influence, shard_counters in run_sharded(
+            task, ctx, workers
+        ):
+            influence[lo:hi] = shard_influence
+            counters.merge(shard_counters)
+        return full_table_result(solver.name, candidates, influence, counters)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _record_metrics(
+        self,
+        result: LSResult,
+        pf: ProbabilityFunction,
+        tau: float,
+        m: int,
+        workers_used: int,
+    ) -> None:
+        inst = result.instrumentation
+        record = {
+            "query": self.stats.queries - 1,
+            "algorithm": result.algorithm,
+            "tau": tau,
+            "pf": repr(pf),
+            "candidates": m,
+            "workers": workers_used,
+            "elapsed_seconds": result.elapsed_seconds,
+            "pruning_seconds": inst.pruning_seconds,
+            "validation_seconds": inst.validation_seconds,
+            "pairs_total": inst.pairs_total,
+            "pairs_pruned_ia": inst.pairs_pruned_ia,
+            "pairs_pruned_nib": inst.pairs_pruned_nib,
+            "pairs_validated": inst.pairs_validated,
+            "cache_hits": self.stats.hits,
+            "cache_misses": self.stats.misses,
+            "table_hits": self.stats.table_hits,
+            "table_misses": self.stats.table_misses,
+            "candidate_hits": self.stats.candidate_hits,
+            "candidate_misses": self.stats.candidate_misses,
+            "pruning_hits": self.stats.pruning_hits,
+            "pruning_misses": self.stats.pruning_misses,
+            "best_candidate": result.best_candidate.candidate_id,
+            "best_influence": result.best_influence,
+        }
+        self.metrics_log.append(record)
+        if self.metrics_path is not None:
+            self.metrics_path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.metrics_path, "a") as f:
+                f.write(json.dumps(record) + "\n")

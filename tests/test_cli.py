@@ -6,6 +6,69 @@ from repro.cli import main
 
 
 class TestCLI:
+    def test_demo_rejects_csv(self, capsys):
+        assert main(["demo", "--csv", "out.csv"]) == 2
+        err = capsys.readouterr().err
+        assert "--csv" in err and "demo" in err
+
+    def test_report_rejects_csv(self, capsys):
+        assert main(["report", "--csv", "out.csv"]) == 2
+        assert "--csv" in capsys.readouterr().err
+
+    def test_svg_rejected_outside_demo(self, capsys):
+        assert main(["table2", "--svg", "out.svg"]) == 2
+        assert "--svg" in capsys.readouterr().err
+
+    def test_list_rejects_all_flags(self, capsys):
+        assert main(["list", "--svg", "x", "--csv", "y"]) == 2
+        err = capsys.readouterr().err
+        assert "--csv" in err and "--svg" in err
+
+    def test_serve_bench_rejects_svg(self, capsys):
+        assert main(["serve-bench", "--svg", "out.svg"]) == 2
+        assert "--svg" in capsys.readouterr().err
+
+    def test_queries_flag_rejected_outside_serve_bench(self, capsys):
+        assert main(["demo", "--queries", "3"]) == 2
+        assert "--queries" in capsys.readouterr().err
+
+    def test_experiment_csv_export(self, capsys, tmp_path, monkeypatch):
+        import dataclasses
+
+        import repro.cli as cli
+
+        @dataclasses.dataclass
+        class FakeResult:
+            taus: list = dataclasses.field(default_factory=lambda: [0.5, 0.7])
+            runtime_ms: list = dataclasses.field(
+                default_factory=lambda: [1.0, 2.0]
+            )
+
+            def render(self):
+                return "fake table"
+
+        monkeypatch.setattr(
+            cli, "_registry", lambda: {"fake": ("fake", FakeResult)}
+        )
+        out = tmp_path / "fake.csv"
+        assert main(["fake", "--csv", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "fake table" in stdout
+        assert "CSV written" in stdout
+        assert "taus" in out.read_text().splitlines()[0]
+
+    def test_serve_bench_runs_and_exports(self, capsys, tmp_path):
+        out = tmp_path / "serve.csv"
+        assert main(
+            ["serve-bench", "--queries", "1", "--workers", "0",
+             "--csv", str(out)]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "serve-bench" in stdout
+        assert "speedup" in stdout
+        assert "engine caches" in stdout
+        header = out.read_text().splitlines()[0]
+        assert "cold_ms" in header and "warm_ms" in header
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out

@@ -1,5 +1,6 @@
 """End-to-end integration tests over generated worlds."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -10,9 +11,23 @@ import pytest
 from repro import ALGORITHMS, PowerLawPF, select_location
 from repro.core.incremental import IncrementalPrimeLS
 
-EXAMPLES = sorted(
-    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
-)
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def example_env() -> dict[str, str]:
+    """``os.environ`` with ``<repo>/src`` merged onto ``PYTHONPATH``.
+
+    The examples do ``from repro import ...``; in a clean checkout the
+    package lives under ``src/`` and is not installed, so the spawned
+    interpreter needs the path explicitly.  Merging (not replacing) the
+    environment keeps whatever the caller already configured.
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
 
 
 class TestEndToEnd:
@@ -87,6 +102,7 @@ def test_examples_run(example, tmp_path):
         text=True,
         timeout=300,
         cwd=tmp_path,
+        env=example_env(),
     )
     assert proc.returncode == 0, proc.stderr
     assert proc.stdout.strip(), "examples must print something"

@@ -30,6 +30,23 @@ class TestTopK:
         # between tied candidates.
         assert [v for _, v in got] == [v for _, v in expected]
 
+    def test_duplicate_lower_bounds_do_not_inflate_threshold(self, pf):
+        # Regression: the Strategy-1 stop threshold used to be the k-th
+        # best of a stream of offered values, where one candidate's
+        # lower bound could be counted twice (seeding + validation),
+        # inflating the threshold and dropping a true top-k member.
+        rng = np.random.default_rng(1024)
+        objects = make_objects(rng, 12, extent=25.0, n_range=(1, 20))
+        candidates = make_candidates(rng, 10, extent=25.0)
+        k, tau = 4, 0.375
+        solver = TopKPrimeLS(k=k)
+        result = solver.select(objects, candidates, pf, tau)
+        got = [v for _, v in solver.top_k_of(result)]
+        expected = [
+            v for _, v in reference_topk(objects, candidates, pf, tau, k)
+        ]
+        assert got == expected
+
     def test_k1_equals_pinvo(self, pf, rng):
         from repro.core.pinocchio_vo import PinocchioVO
 
