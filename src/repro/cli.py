@@ -143,9 +143,15 @@ def _cmd_export(registry, name: str, out_csv: str) -> int:
     return 0
 
 
-def _cmd_serve_bench(queries: int, workers: int, out_csv: str | None) -> int:
+def _cmd_serve_bench(
+    queries: int,
+    workers: int,
+    out_csv: str | None,
+    deadline: float | None,
+    inject_faults: list[str] | None,
+) -> int:
     """Run the warm-vs-cold serving benchmark (see repro.engine.bench)."""
-    from repro.engine import run_serve_bench
+    from repro.engine import FaultSpec, run_serve_bench
 
     if queries < 1:
         print(f"--queries must be >= 1, got {queries}", file=sys.stderr)
@@ -153,7 +159,29 @@ def _cmd_serve_bench(queries: int, workers: int, out_csv: str | None) -> int:
     if workers < 0:
         print(f"--workers must be >= 0, got {workers}", file=sys.stderr)
         return 2
-    result = run_serve_bench(n_queries=queries, workers=workers)
+    if deadline is not None and deadline <= 0:
+        print(f"--deadline must be > 0, got {deadline}", file=sys.stderr)
+        return 2
+    faults = []
+    for text in inject_faults or []:
+        try:
+            faults.append(FaultSpec.parse(text))
+        except ValueError as exc:
+            print(f"--inject-fault: {exc}", file=sys.stderr)
+            return 2
+    if faults and workers < 2:
+        print(
+            "--inject-fault needs --workers >= 2 (faults only fire in "
+            "worker processes)",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_serve_bench(
+        n_queries=queries,
+        workers=workers,
+        deadline_seconds=deadline,
+        faults=faults,
+    )
     print(result.render())
     if out_csv:
         from repro.experiments.export import export_result
@@ -166,7 +194,9 @@ def _cmd_serve_bench(queries: int, workers: int, out_csv: str | None) -> int:
 #: the command line would be silently dropped, so we reject it instead
 _ALLOWED_FLAGS = {
     "demo": {"--svg"},
-    "serve-bench": {"--csv", "--queries", "--workers"},
+    "serve-bench": {
+        "--csv", "--queries", "--workers", "--deadline", "--inject-fault"
+    },
     "list": set(),
     "report": set(),
     "all": set(),
@@ -230,6 +260,25 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="with 'serve-bench': worker processes (default 0 = serial)",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with 'serve-bench': per-query deadline for warm queries",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "with 'serve-bench': inject a worker fault, "
+            "KIND[:WORKER[:QUERY[:SECONDS]]] with KIND one of "
+            "crash/exception/delay and '*' meaning any "
+            "(e.g. crash:1, delay:0:*:0.5); repeatable"
+        ),
+    )
     args = parser.parse_args(argv)
 
     provided = set()
@@ -241,6 +290,10 @@ def main(argv: list[str] | None = None) -> int:
         provided.add("--queries")
     if args.workers is not None:
         provided.add("--workers")
+    if args.deadline is not None:
+        provided.add("--deadline")
+    if args.inject_fault is not None:
+        provided.add("--inject-fault")
     is_experiment = args.experiment in registry
     code = _check_flags(args.experiment, provided, is_experiment)
     if code:
@@ -258,6 +311,8 @@ def main(argv: list[str] | None = None) -> int:
             queries=args.queries if args.queries is not None else 12,
             workers=args.workers if args.workers is not None else 0,
             out_csv=args.csv,
+            deadline=args.deadline,
+            inject_faults=args.inject_fault,
         )
     if args.experiment == "report":
         from repro.experiments.report import generate_report

@@ -51,6 +51,15 @@ class Instrumentation:
     pruning_seconds: float = 0.0
     #: wall-clock seconds spent in exact validation (same sharding caveat)
     validation_seconds: float = 0.0
+    #: worker shard dispatches that died or raised while answering
+    #: (only the serving engine's supervised path ever sets these)
+    worker_failures: int = 0
+    #: shard re-dispatches performed after a worker failure
+    retries: int = 0
+    #: 1 when the query fell back to in-parent serial execution after
+    #: exhausting its retry budget (kept as an int so merge() stays
+    #: uniformly additive; any nonzero value means "degraded")
+    degraded: int = 0
 
     def merge(self, other: "Instrumentation") -> None:
         """Accumulate another shard's (or phase's) counters into this one.

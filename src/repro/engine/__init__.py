@@ -4,13 +4,25 @@
   cache (object tables per ``(PF, τ)``, candidate arrays and R-trees
   per candidate set) with hit/miss counters and a JSONL metrics log,
 * :mod:`repro.engine.parallel` — fork-based candidate-axis sharding,
-  bit-identical to serial execution,
+  bit-identical to serial execution, supervised (per-shard retry with
+  bounded backoff, degrade-to-serial, hard deadline kills),
+* :mod:`repro.engine.faults` — fault-injection hooks (worker crash,
+  injected exception, artificial delay) plus the supervisor policy and
+  report types,
 * :mod:`repro.engine.bench` — the warm-vs-cold serving benchmark
   behind ``prime-ls serve-bench``.
 """
 
 from repro.engine.bench import ServeBenchResult, run_serve_bench
-from repro.engine.parallel import fork_available
+from repro.engine.faults import (
+    DeadlineExceeded,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    SupervisorPolicy,
+    SupervisorReport,
+)
+from repro.engine.parallel import Supervisor, fork_available
 from repro.engine.session import EngineStats, QueryEngine
 
 __all__ = [
@@ -19,4 +31,11 @@ __all__ = [
     "ServeBenchResult",
     "run_serve_bench",
     "fork_available",
+    "FaultSpec",
+    "FaultInjector",
+    "InjectedFault",
+    "DeadlineExceeded",
+    "Supervisor",
+    "SupervisorPolicy",
+    "SupervisorReport",
 ]

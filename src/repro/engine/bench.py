@@ -13,6 +13,14 @@ speedup, and the engine's cache counters:
   array, and PIN-VO pruning output all come from the session caches
   and only exact validation runs per query.
 
+The warm engine can additionally run a chaos drill: ``faults`` arms a
+:class:`~repro.engine.faults.FaultInjector` on the engine and
+``deadline_seconds`` bounds every warm query, so the bench doubles as
+a measurement of supervision overhead (CLI:
+``prime-ls serve-bench --workers 4 --inject-fault crash:1``).  A query
+cut off by its deadline is counted, its wall time recorded, and the
+bench moves on — exactly how a serving deployment degrades.
+
 Reused by ``benchmarks/bench_engine.py``.
 """
 
@@ -20,11 +28,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro import select_location
 from repro.datasets import gowalla_like
+from repro.engine.faults import DeadlineExceeded, FaultInjector, FaultSpec
 from repro.engine.session import QueryEngine
 from repro.experiments.tables import TextTable
 from repro.model import MovingObject
@@ -44,6 +54,10 @@ class ServeBenchResult:
     n_candidates: int
     cache_hits: int = 0
     cache_misses: int = 0
+    worker_failures: int = 0
+    retries: int = 0
+    degraded: int = 0
+    deadline_exceeded: int = 0
     query: list[int] = field(default_factory=list)
     tau: list[float] = field(default_factory=list)
     cold_ms: list[float] = field(default_factory=list)
@@ -85,6 +99,11 @@ class ServeBenchResult:
                 f"engine caches: {self.cache_hits} hits, "
                 f"{self.cache_misses} misses"
             ),
+            (
+                f"supervision: {self.worker_failures} worker failures, "
+                f"{self.retries} retries, {self.degraded} degraded, "
+                f"{self.deadline_exceeded} deadline-exceeded"
+            ),
         ]
         return "\n".join(lines)
 
@@ -96,6 +115,8 @@ def run_serve_bench(
     scale: float = 0.1,
     seed: int = 11,
     metrics_path=None,
+    deadline_seconds: float | None = None,
+    faults: Sequence[FaultSpec] = (),
 ) -> ServeBenchResult:
     """Measure warm (engine) versus cold (stateless) query latency.
 
@@ -105,6 +126,11 @@ def run_serve_bench(
     values so the measured queries are all cache hits; the cold path
     rebuilds the fleet's per-object structures per query (see module
     docstring).
+
+    ``faults`` arms the warm engine's fault injector (the cold path
+    stays fault-free, so the delta is pure supervision overhead), and
+    ``deadline_seconds`` bounds every warm query — deadline overruns
+    are counted, not raised.
     """
     world = gowalla_like(scale=scale, seed=seed)
     objects = world.dataset.objects
@@ -128,14 +154,30 @@ def run_serve_bench(
         result.query.append(i)
         result.tau.append(tau)
 
-    engine = QueryEngine(objects, workers=workers, metrics_path=metrics_path)
+    injector = FaultInjector(list(faults)) if faults else None
+    engine = QueryEngine(
+        objects,
+        workers=workers,
+        metrics_path=metrics_path,
+        fault_injector=injector,
+    )
     for tau in TAUS:  # priming pass: populate the per-(pf, tau) caches
         engine.query(candidates, pf=pf, tau=tau, algorithm=algorithm)
     for tau in taus:
         started = time.perf_counter()
-        engine.query(candidates, pf=pf, tau=tau, algorithm=algorithm)
+        try:
+            engine.query(
+                candidates, pf=pf, tau=tau, algorithm=algorithm,
+                deadline_seconds=deadline_seconds,
+            )
+        except DeadlineExceeded:
+            pass  # counted in engine.stats.deadline_exceeded below
         result.warm_ms.append((time.perf_counter() - started) * 1000.0)
 
     result.cache_hits = engine.stats.hits
     result.cache_misses = engine.stats.misses
+    result.worker_failures = engine.stats.worker_failures
+    result.retries = engine.stats.retries
+    result.degraded = engine.stats.degraded
+    result.deadline_exceeded = engine.stats.deadline_exceeded
     return result

@@ -1,0 +1,229 @@
+"""Fault injection and supervision policy for the serving engine.
+
+The serving layer's robustness claims — a crashed, poisoned, or stalled
+worker shard never changes a query's answer, and a per-query deadline
+is honoured — are only testable if faults can be provoked on demand.
+This module supplies that machinery:
+
+* :class:`FaultSpec` / :class:`FaultInjector` — declarative fault
+  schedules (worker crash, injected exception, artificial delay) keyed
+  by worker/shard index, engine query id, and dispatch attempt.  The
+  injector is consulted by :mod:`repro.engine.parallel` inside each
+  forked worker, immediately before the shard task runs; faults never
+  fire in the parent process, so the retry and degrade-to-serial paths
+  are fault-free by construction.
+* :class:`SupervisorPolicy` — the retry/backoff knobs the supervisor
+  in :func:`repro.engine.parallel.run_sharded` obeys.
+* :class:`SupervisorReport` — what actually happened to one query's
+  shards (failures, retries, degradation, deadline overrun); the
+  engine folds it into :class:`~repro.engine.session.EngineStats`,
+  the result's :class:`~repro.core.result.Instrumentation`, and the
+  per-query JSONL metrics.
+* :class:`DeadlineExceeded` — the clean-timeout error raised when a
+  query cannot finish inside ``deadline_seconds``.
+
+Injection only makes sense for testing and chaos drills; production
+engines simply leave ``fault_injector=None`` and still get the
+supervision (deadline, retry, degrade) for free.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+#: fault kinds the injector understands
+FAULT_KINDS = ("crash", "exception", "delay")
+
+#: exit status a crash fault dies with (distinguishable from a clean 0
+#: and from the generic task-error exit 1 in worker logs)
+CRASH_EXIT_CODE = 13
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised inside a worker by an ``exception`` fault."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """A query could not complete within its ``deadline_seconds``.
+
+    Raised by the supervisor with all worker processes already killed
+    and joined — no orphans survive the timeout.  Carries the budget
+    and the elapsed wall time at the moment the deadline fired.
+    """
+
+    def __init__(self, deadline_seconds: float, elapsed_seconds: float):
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+        super().__init__(
+            f"query exceeded its {deadline_seconds:.3f}s deadline "
+            f"(elapsed {elapsed_seconds:.3f}s)"
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``worker``/``query`` restrict where the fault fires (``None`` means
+    any shard / any query); ``times`` is how many *dispatch attempts*
+    of a matching shard it hits, so ``times=1`` fails the first attempt
+    and lets the supervisor's retry succeed, while ``times`` larger
+    than the retry budget forces the degrade-to-serial path.
+    """
+
+    kind: str                    # "crash" | "exception" | "delay"
+    worker: int | None = None    # shard index to hit; None = every shard
+    query: int | None = None     # engine query id to hit; None = every query
+    delay_seconds: float = 0.05  # sleep length for "delay" faults
+    times: int = 1               # number of attempts the fault fires on
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.delay_seconds < 0:
+            raise ValueError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}"
+            )
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+    def matches(self, worker: int, query: int | None, attempt: int) -> bool:
+        """Whether this fault fires for the given shard dispatch."""
+        if attempt >= self.times:
+            return False
+        if self.worker is not None and self.worker != worker:
+            return False
+        if self.query is not None and query is not None and self.query != query:
+            return False
+        return True
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the CLI form ``KIND[:WORKER[:QUERY[:SECONDS]]]``.
+
+        ``*`` for ``WORKER``/``QUERY`` means "any", e.g.
+        ``crash:1`` (crash shard 1 of every query),
+        ``exception:*:0`` (poison every shard of query 0),
+        ``delay:0:*:0.5`` (stall shard 0 for half a second).
+        """
+        parts = text.split(":")
+        if not 1 <= len(parts) <= 4:
+            raise ValueError(
+                f"bad fault spec {text!r}; expected "
+                "KIND[:WORKER[:QUERY[:SECONDS]]]"
+            )
+
+        def _index(token: str, what: str) -> int | None:
+            if token in ("*", ""):
+                return None
+            try:
+                return int(token)
+            except ValueError:
+                raise ValueError(
+                    f"bad fault spec {text!r}: {what} must be an "
+                    f"integer or '*', got {token!r}"
+                ) from None
+
+        kind = parts[0]
+        worker = _index(parts[1], "worker") if len(parts) > 1 else None
+        query = _index(parts[2], "query") if len(parts) > 2 else None
+        kwargs = {}
+        if len(parts) > 3:
+            try:
+                kwargs["delay_seconds"] = float(parts[3])
+            except ValueError:
+                raise ValueError(
+                    f"bad fault spec {text!r}: seconds must be a "
+                    f"number, got {parts[3]!r}"
+                ) from None
+        return cls(kind=kind, worker=worker, query=query, **kwargs)
+
+
+class FaultInjector:
+    """A set of :class:`FaultSpec` consulted by worker processes.
+
+    The injector is inherited by each forked worker (copy-on-write), so
+    ``fire`` runs in the child: a ``delay`` sleeps, an ``exception``
+    raises :class:`InjectedFault`, and a ``crash`` hard-exits the
+    worker with :data:`CRASH_EXIT_CODE` (no cleanup — modelling a
+    SIGKILL'd or OOM-killed process).  Matching is purely a function of
+    ``(worker, query, attempt)``, so the parent never needs to see
+    child-side state: a retry is a new attempt and naturally escapes
+    any fault with exhausted ``times``.
+    """
+
+    def __init__(self, faults: "list[FaultSpec] | tuple[FaultSpec, ...]" = ()):
+        self.faults: list[FaultSpec] = list(faults)
+
+    def add(self, spec: FaultSpec) -> "FaultInjector":
+        """Schedule another fault; returns self for chaining."""
+        self.faults.append(spec)
+        return self
+
+    def matching(
+        self, worker: int, query: int | None, attempt: int
+    ) -> list[FaultSpec]:
+        """The faults that would fire for this shard dispatch."""
+        return [f for f in self.faults if f.matches(worker, query, attempt)]
+
+    def fire(self, worker: int, query: int | None, attempt: int) -> None:
+        """Trigger every matching fault; called inside the worker."""
+        for spec in self.matching(worker, query, attempt):
+            if spec.kind == "delay":
+                time.sleep(spec.delay_seconds)
+            elif spec.kind == "exception":
+                raise InjectedFault(
+                    f"injected exception in worker {worker} "
+                    f"(query {query}, attempt {attempt})"
+                )
+            elif spec.kind == "crash":
+                os._exit(CRASH_EXIT_CODE)
+
+
+@dataclass
+class SupervisorPolicy:
+    """Retry/backoff knobs for the shard supervisor.
+
+    A failed shard is re-dispatched up to ``max_retries`` times with
+    exponential backoff (``backoff_seconds * backoff_multiplier**k``,
+    capped at ``backoff_cap_seconds`` and by the remaining deadline
+    budget); once retries are exhausted the surviving spans run
+    serially in the parent so the query still returns.
+    """
+
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_cap_seconds: float = 1.0
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before re-dispatch number ``attempt + 1``."""
+        return min(
+            self.backoff_seconds * self.backoff_multiplier ** attempt,
+            self.backoff_cap_seconds,
+        )
+
+
+@dataclass
+class SupervisorReport:
+    """What supervision observed while answering one query."""
+
+    #: shard dispatch attempts that died (crash, error, or EOF)
+    worker_failures: int = 0
+    #: shard re-dispatches performed after a failure
+    retries: int = 0
+    #: the query fell back to in-parent serial execution
+    degraded: bool = False
+    #: the query was cut off by its deadline
+    deadline_exceeded: bool = False
+    #: human-readable trail of what happened, in order
+    events: list[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        """Append one event to the supervision trail."""
+        self.events.append(message)

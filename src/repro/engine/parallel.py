@@ -1,35 +1,65 @@
-"""Process-parallel sharded execution for the serving engine.
+"""Process-parallel sharded execution with supervision for the engine.
 
 The candidate axis is split into contiguous column spans; each worker
 process resolves its span independently and the parent concatenates
 the per-span arrays and merges the work counters.  Because every
 object-candidate pair is computed independently in the sharded phases
 (PIN/NA influence tables, PIN-VO's pruning phase), the merged output
-is bit-identical to the serial path (asserted in tests/test_engine.py).
-PIN-VO's heap-driven validation phase is inherently sequential —
-Strategy 1 compares candidates against a global bound — so it always
-runs in the parent, on the merged pruning output.
+is bit-identical to the serial path (asserted in tests/test_engine.py
+and, under injected faults, tests/test_faults.py).  PIN-VO's
+heap-driven validation phase is inherently sequential — Strategy 1
+compares candidates against a global bound — so it always runs in the
+parent, on the merged pruning output.
 
 Workers are forked, not spawned: the parent publishes the shard
 context (object table, position arrays, candidate coordinates,
-probability function) in a module-level global immediately before
-creating the pool, and the fork inherits it through copy-on-write
-memory.  Only each span's bounds travel to a worker, and only that
-span's result arrays travel back — positions are never pickled per
-task.  On platforms without ``fork`` the engine falls back to serial
-execution (see :meth:`repro.engine.QueryEngine.query`).
+probability function, fault injector) in a module-level global
+immediately before creating each worker, and the fork inherits it
+through copy-on-write memory.  Only each span's bounds travel to a
+worker, and only that span's result arrays travel back — positions are
+never pickled per task.  On platforms without ``fork`` the engine
+falls back to serial execution (see
+:meth:`repro.engine.QueryEngine.query`).
+
+Supervision (:class:`Supervisor`) wraps the dispatch loop:
+
+* every shard runs in its own ``multiprocessing.Process`` with a
+  one-way pipe back to the parent; a shard that crashes, raises, or
+  never reports is detected individually (pipe EOF / error message),
+* failed shards are re-dispatched with bounded exponential backoff up
+  to :attr:`SupervisorPolicy.max_retries` times — each re-dispatch is
+  a fresh fork, so a transient fault does not poison the retry,
+* once retries are exhausted the surviving spans run serially in the
+  parent ("degrade-to-serial"); fault hooks never fire in the parent,
+  so the degraded pass is fault-free by construction and the query
+  still returns a bit-identical result,
+* an optional absolute deadline is enforced while waiting on workers:
+  on expiry every live worker is killed and joined (no orphans) and
+  :class:`~repro.engine.faults.DeadlineExceeded` is raised.
+
+Counters stay exact under supervision: a failed attempt's partial work
+never reaches the parent, and each span's counters are merged exactly
+once — from whichever dispatch (worker or degraded in-parent run)
+finally produced them.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+import time
 from dataclasses import dataclass
+from multiprocessing.connection import wait as connection_wait
 from typing import Any
 
 import numpy as np
 
 from repro.core.result import Instrumentation
+from repro.engine.faults import (
+    DeadlineExceeded,
+    FaultInjector,
+    SupervisorPolicy,
+    SupervisorReport,
+)
 
 
 def fork_available() -> bool:
@@ -47,10 +77,17 @@ class ShardContext:
     cand_xy: np.ndarray  # full (m, 2) candidate coordinates
     pf: Any
     tau: float
+    #: fault hooks consulted inside each worker (None = no injection)
+    injector: FaultInjector | None = None
+    #: engine query id, for query-keyed fault specs
+    query_id: int | None = None
+    #: dispatch attempt number, bumped by the supervisor before each
+    #: re-dispatch so ``times``-limited faults expire across retries
+    attempt: int = 0
 
 
-#: shard context published by :func:`run_sharded` right before the pool
-#: forks; module-level so the task functions can reach it by name
+#: shard context published by the supervisor right before each fork;
+#: module-level so the task functions can reach it by name
 _CONTEXT: ShardContext | None = None
 
 
@@ -99,27 +136,254 @@ def column_spans(m: int, shards: int) -> list[tuple[int, int]]:
     ]
 
 
-def run_sharded(task, ctx: ShardContext, workers: int) -> list:
+def _child_main(conn, task, index: int, span: tuple[int, int]) -> None:
+    """Worker entry point: fire fault hooks, run the task, pipe back.
+
+    Runs in the forked child.  The fault hooks fire *before* the task
+    so a crash models a worker lost mid-query and a delay stalls the
+    whole shard.  A task exception is reported as an ``("error", msg)``
+    message so the parent can distinguish a poisoned shard from a dead
+    one — both are retried the same way.
+    """
+    try:
+        ctx = _CONTEXT
+        if ctx.injector is not None:
+            ctx.injector.fire(
+                worker=index, query=ctx.query_id, attempt=ctx.attempt
+            )
+        conn.send(("ok", task(span)))
+    except BaseException as exc:  # noqa: BLE001 — report, parent decides
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Dispatch:
+    """One in-flight shard attempt."""
+
+    index: int
+    span: tuple[int, int]
+    process: multiprocessing.Process
+    conn: Any
+
+
+class Supervisor:
+    """Supervises one query's sharded dispatches.
+
+    Owns the retry budget (:class:`SupervisorPolicy`), the absolute
+    deadline, the fault injector handed to workers, and the
+    :class:`SupervisorReport` the engine folds into its stats.  One
+    instance is created per :meth:`QueryEngine.query` call.
+    """
+
+    def __init__(
+        self,
+        policy: SupervisorPolicy | None = None,
+        *,
+        injector: FaultInjector | None = None,
+        query_id: int | None = None,
+        deadline_seconds: float | None = None,
+        report: SupervisorReport | None = None,
+    ):
+        self.policy = policy or SupervisorPolicy()
+        self.injector = injector
+        self.query_id = query_id
+        self.report = report or SupervisorReport()
+        self.deadline_seconds = deadline_seconds
+        self.started_at = time.monotonic()
+        self.deadline_at = (
+            self.started_at + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
+
+    # -- deadline bookkeeping ------------------------------------------
+    def elapsed(self) -> float:
+        """Seconds since the supervisor (i.e. the query) started."""
+        return time.monotonic() - self.started_at
+
+    def remaining(self) -> float | None:
+        """Seconds left in the budget, or ``None`` when unbounded."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - time.monotonic()
+
+    def check_deadline(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent.
+
+        Serial sections (PIN-VO validation, the degraded fallback, the
+        no-worker path) call this at phase boundaries — cooperative
+        enforcement, versus the hard kill applied to workers.
+        """
+        remaining = self.remaining()
+        if remaining is not None and remaining <= 0:
+            self.report.deadline_exceeded = True
+            self.report.note(
+                f"deadline of {self.deadline_seconds:.3f}s exceeded "
+                f"after {self.elapsed():.3f}s"
+            )
+            raise DeadlineExceeded(self.deadline_seconds, self.elapsed())
+
+    # -- dispatch ------------------------------------------------------
+    def run(self, task, ctx: ShardContext, spans: list[tuple[int, int]]):
+        """Run ``task`` over ``spans``; always returns span-order results."""
+        global _CONTEXT
+        results: dict[int, Any] = {}
+        pending = list(enumerate(spans))
+        attempt = 0
+        while pending:
+            self.check_deadline()
+            ctx.injector = self.injector
+            ctx.query_id = self.query_id
+            ctx.attempt = attempt
+            mp_ctx = multiprocessing.get_context("fork")
+            dispatches: list[_Dispatch] = []
+            _CONTEXT = ctx
+            try:
+                for index, span in pending:
+                    parent_conn, child_conn = mp_ctx.Pipe(duplex=False)
+                    proc = mp_ctx.Process(
+                        target=_child_main,
+                        args=(child_conn, task, index, span),
+                        daemon=True,
+                    )
+                    proc.start()
+                    child_conn.close()
+                    dispatches.append(_Dispatch(index, span, proc, parent_conn))
+                failed = self._collect(dispatches, results)
+            finally:
+                _CONTEXT = None
+                self._reap(dispatches)
+            if not failed:
+                break
+            self.report.worker_failures += len(failed)
+            if attempt >= self.policy.max_retries:
+                self._degrade(task, ctx, failed, results)
+                break
+            self._backoff(attempt, len(failed))
+            pending = failed
+            attempt += 1
+        return [results[i] for i in range(len(spans))]
+
+    def _collect(
+        self, dispatches: list[_Dispatch], results: dict[int, Any]
+    ) -> list[tuple[int, tuple[int, int]]]:
+        """Wait for every dispatch; return the (index, span) failures."""
+        failed: list[tuple[int, tuple[int, int]]] = []
+        open_dispatches = {d.conn: d for d in dispatches}
+        while open_dispatches:
+            remaining = self.remaining()
+            if remaining is not None and remaining <= 0:
+                self.check_deadline()  # kills via _reap in run()'s finally
+            ready = connection_wait(
+                list(open_dispatches), timeout=remaining
+            )
+            if not ready:  # timed out with workers still running
+                self.check_deadline()
+                continue
+            for conn in ready:
+                dispatch = open_dispatches.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError):
+                    # Pipe closed without a message: the worker died
+                    # (crash fault, SIGKILL, OOM) before reporting.
+                    failed.append((dispatch.index, dispatch.span))
+                    self.report.note(
+                        f"worker {dispatch.index} died without reporting "
+                        f"(exitcode {dispatch.process.exitcode})"
+                    )
+                    continue
+                if status == "ok":
+                    results[dispatch.index] = payload
+                else:
+                    failed.append((dispatch.index, dispatch.span))
+                    self.report.note(
+                        f"worker {dispatch.index} failed: {payload}"
+                    )
+        return failed
+
+    def _reap(self, dispatches: list[_Dispatch]) -> None:
+        """Kill and join every dispatch; close pipes.  No orphans."""
+        for dispatch in dispatches:
+            if dispatch.process.is_alive():
+                dispatch.process.kill()
+            dispatch.process.join()
+            dispatch.conn.close()
+
+    def _backoff(self, attempt: int, n_failed: int) -> None:
+        """Sleep before re-dispatch, bounded by policy and deadline."""
+        self.report.retries += n_failed
+        pause = self.policy.backoff_for(attempt)
+        remaining = self.remaining()
+        if remaining is not None:
+            pause = min(pause, max(0.0, remaining))
+        self.report.note(
+            f"retrying {n_failed} shard(s) after {pause:.3f}s backoff "
+            f"(attempt {attempt + 1})"
+        )
+        if pause > 0:
+            time.sleep(pause)
+
+    def _degrade(
+        self,
+        task,
+        ctx: ShardContext,
+        failed: list[tuple[int, tuple[int, int]]],
+        results: dict[int, Any],
+    ) -> None:
+        """Run the still-missing spans serially in the parent.
+
+        Fault hooks only fire inside :func:`_child_main`, so this pass
+        cannot be re-injected; a *real* (non-injected) deterministic
+        task bug will surface here as a plain exception in the parent,
+        which is the most debuggable place for it.
+        """
+        global _CONTEXT
+        self.report.degraded = True
+        self.report.note(
+            f"retries exhausted; running {len(failed)} shard(s) "
+            "serially in the parent"
+        )
+        _CONTEXT = ctx
+        try:
+            for index, span in failed:
+                self.check_deadline()
+                results[index] = task(span)
+        finally:
+            _CONTEXT = None
+
+
+def run_sharded(
+    task,
+    ctx: ShardContext,
+    workers: int,
+    supervisor: Supervisor | None = None,
+) -> list:
     """Run ``task`` over candidate column spans in forked workers.
 
-    Returns the per-span results in span order.  The pool is created
-    after ``_CONTEXT`` is published so the forked children inherit it.
+    Returns the per-span results in span order.  ``supervisor``
+    carries the deadline/retry policy and fault hooks; when omitted a
+    default supervisor (no deadline, no faults, default retry budget)
+    still guards against real worker failures.  A single-span dispatch
+    runs inline in the parent — no fork, no supervision, and fault
+    hooks do not apply (they only ever fire in worker processes).
     """
     global _CONTEXT
     spans = column_spans(ctx.cand_xy.shape[0], workers)
     if len(spans) == 1:
         # One span — no point paying the fork; run inline.
+        if supervisor is not None:
+            supervisor.check_deadline()
         _CONTEXT = ctx
         try:
             return [task(spans[0])]
         finally:
             _CONTEXT = None
-    _CONTEXT = ctx
-    try:
-        mp_ctx = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=len(spans), mp_context=mp_ctx
-        ) as pool:
-            return list(pool.map(task, spans))
-    finally:
-        _CONTEXT = None
+    if supervisor is None:
+        supervisor = Supervisor()
+    return supervisor.run(task, ctx, spans)

@@ -47,8 +47,15 @@ from repro.core.object_table import ObjectTable
 from repro.core.pinocchio import Pinocchio
 from repro.core.pinocchio_vo import PinocchioVO
 from repro.core.result import Instrumentation, LSResult, full_table_result
+from repro.engine.faults import (
+    DeadlineExceeded,
+    FaultInjector,
+    SupervisorPolicy,
+    SupervisorReport,
+)
 from repro.engine.parallel import (
     ShardContext,
+    Supervisor,
     _naive_shard,
     _pin_shard,
     _vo_pruning_shard,
@@ -64,7 +71,8 @@ from repro.prob.base import ProbabilityFunction
 
 @dataclass
 class EngineStats:
-    """Cache hit/miss counters proving cross-query reuse."""
+    """Cache hit/miss counters proving cross-query reuse, plus the
+    supervision counters proving fault tolerance."""
 
     queries: int = 0
     table_hits: int = 0
@@ -75,6 +83,14 @@ class EngineStats:
     rtree_misses: int = 0
     pruning_hits: int = 0
     pruning_misses: int = 0
+    #: worker shard dispatches that died or raised, across all queries
+    worker_failures: int = 0
+    #: shard re-dispatches performed after worker failures
+    retries: int = 0
+    #: queries that fell back to in-parent serial execution
+    degraded: int = 0
+    #: queries cut off by their ``deadline_seconds``
+    deadline_exceeded: int = 0
 
     @property
     def hits(self) -> int:
@@ -147,6 +163,8 @@ class QueryEngine:
         workers: int = 0,
         metrics_path: str | Path | None = None,
         default_pf: ProbabilityFunction | None = None,
+        fault_injector: FaultInjector | None = None,
+        supervisor_policy: SupervisorPolicy | None = None,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -161,6 +179,11 @@ class QueryEngine:
             _ = obj.mbr
         self.ingest_seconds = time.perf_counter() - started
         self.workers = int(workers)
+        #: fault hooks handed to every worker dispatch (testing/chaos
+        #: drills only — leave ``None`` in production)
+        self.fault_injector = fault_injector
+        #: retry/backoff knobs the per-query supervisor obeys
+        self.supervisor_policy = supervisor_policy or SupervisorPolicy()
         self.stats = EngineStats()
         self.metrics_path = Path(metrics_path) if metrics_path else None
         #: in-memory copy of every JSONL metrics record, in query order
@@ -233,6 +256,7 @@ class QueryEngine:
         tau: float = 0.7,
         algorithm: str = "PIN-VO",
         workers: int | None = None,
+        deadline_seconds: float | None = None,
         **algorithm_kwargs,
     ) -> LSResult:
         """Answer one PRIME-LS query against the ingested fleet.
@@ -244,11 +268,24 @@ class QueryEngine:
         this query; sharded execution applies to NA (vector kernel),
         PIN, and PIN-VO's pruning phase, and falls back to serial for
         everything else.
-        """
-        # Deferred to dodge the repro <-> repro.engine import cycle:
-        # the package re-exports QueryEngine from its __init__.
-        from repro import make_algorithm
 
+        Sharded execution is supervised: a worker shard that crashes or
+        raises is retried with bounded backoff (per the engine's
+        :class:`~repro.engine.faults.SupervisorPolicy`) and, once
+        retries are exhausted, re-run serially in the parent, so the
+        query always returns the bit-identical answer.  What happened
+        is recorded in the result's
+        :class:`~repro.core.result.Instrumentation`
+        (``worker_failures``/``retries``/``degraded``), the engine's
+        :class:`EngineStats`, and the JSONL metrics.
+
+        ``deadline_seconds`` bounds the query's wall time: workers are
+        hard-killed (and joined — no orphans) when the budget expires,
+        serial sections check the budget at phase boundaries, and
+        :class:`~repro.engine.faults.DeadlineExceeded` is raised.  A
+        deadline overrun wins over retry/degradation: the engine never
+        trades the latency bound for an answer.
+        """
         started = time.perf_counter()
         if pf is None:
             if self._default_pf is None:
@@ -256,10 +293,61 @@ class QueryEngine:
             pf = self._default_pf
         if not 0.0 < tau < 1.0:
             raise ValueError(f"tau must be in (0, 1), got {tau}")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be > 0, got {deadline_seconds}"
+            )
         candidates = list(candidates)
         if not candidates:
             raise ValueError("need at least one candidate location")
         workers = self.workers if workers is None else int(workers)
+
+        supervisor = Supervisor(
+            self.supervisor_policy,
+            injector=self.fault_injector,
+            query_id=self.stats.queries,
+            deadline_seconds=deadline_seconds,
+        )
+        try:
+            result, workers_used = self._execute(
+                candidates, pf, tau, algorithm, workers, supervisor,
+                algorithm_kwargs,
+            )
+        except DeadlineExceeded:
+            self._record_failure(
+                pf, tau, len(candidates), algorithm, supervisor, started
+            )
+            raise
+        result.elapsed_seconds = time.perf_counter() - started
+
+        report = supervisor.report
+        inst = result.instrumentation
+        inst.worker_failures += report.worker_failures
+        inst.retries += report.retries
+        inst.degraded += int(report.degraded)
+        self.stats.worker_failures += report.worker_failures
+        self.stats.retries += report.retries
+        self.stats.degraded += int(report.degraded)
+        self.stats.queries += 1
+        self._record_metrics(
+            result, pf, tau, len(candidates), workers_used, report
+        )
+        return result
+
+    def _execute(
+        self,
+        candidates: list[Candidate],
+        pf: ProbabilityFunction,
+        tau: float,
+        algorithm: str,
+        workers: int,
+        supervisor: Supervisor,
+        algorithm_kwargs: dict,
+    ) -> tuple[LSResult, int]:
+        """Resolve one query through the caches and (maybe) workers."""
+        # Deferred to dodge the repro <-> repro.engine import cycle:
+        # the package re-exports QueryEngine from its __init__.
+        from repro import make_algorithm
 
         solver = make_algorithm(algorithm, **algorithm_kwargs)
         solver.rtree_factory = self.rtree_for
@@ -272,34 +360,29 @@ class QueryEngine:
         if isinstance(solver, PinocchioVO):
             result = self._query_vo(
                 solver, table, candidates, cand_xy, pf, tau,
-                workers if parallel else 1,
+                workers if parallel else 1, supervisor,
             )
-            workers_used = workers if parallel else 1
-        else:
-            task = None
-            if parallel:
-                if isinstance(solver, Pinocchio):
-                    task = _pin_shard
-                elif (
-                    isinstance(solver, NaiveAlgorithm)
-                    and solver.kernel == "vector"
-                ):
-                    task = _naive_shard
-            if task is not None:
-                result = self._run_parallel(
-                    solver, task, table, candidates, cand_xy, pf, tau, workers
-                )
-                workers_used = workers
-            else:
-                if table is not None:
-                    solver.table_factory = lambda _objects, _pf, _tau: table
-                result = solver.select(self.objects, candidates, pf, tau)
-                workers_used = 1
-        result.elapsed_seconds = time.perf_counter() - started
+            return result, workers if parallel else 1
 
-        self.stats.queries += 1
-        self._record_metrics(result, pf, tau, len(candidates), workers_used)
-        return result
+        task = None
+        if parallel:
+            if isinstance(solver, Pinocchio):
+                task = _pin_shard
+            elif (
+                isinstance(solver, NaiveAlgorithm)
+                and solver.kernel == "vector"
+            ):
+                task = _naive_shard
+        if task is not None:
+            result = self._run_parallel(
+                solver, task, table, candidates, cand_xy, pf, tau,
+                workers, supervisor,
+            )
+            return result, workers
+        supervisor.check_deadline()
+        if table is not None:
+            solver.table_factory = lambda _objects, _pf, _tau: table
+        return solver.select(self.objects, candidates, pf, tau), 1
 
     def _query_vo(
         self,
@@ -310,6 +393,7 @@ class QueryEngine:
         pf: ProbabilityFunction,
         tau: float,
         workers: int,
+        supervisor: Supervisor,
     ) -> LSResult:
         """PIN-VO through the pruning cache, then sequential validation.
 
@@ -319,7 +403,9 @@ class QueryEngine:
         straight to Strategy-1/2 validation.  On a miss the pruning
         phase runs — sharded across workers when requested — and its
         output is stored pristine (validation mutates ``minInf``, so
-        both store and hit hand out copies).
+        both store and hit hand out copies).  The deadline is checked
+        again between the phases: validation is sequential and cannot
+        be killed, so it only starts while budget remains.
         """
         m = cand_xy.shape[0]
         counters = Instrumentation()
@@ -340,12 +426,13 @@ class QueryEngine:
                 min_inf = np.zeros(m, dtype=int)
                 vs_indexes: list[np.ndarray] = [None] * m  # type: ignore[list-item]
                 for lo, hi, (mi, vs), shard_counters in run_sharded(
-                    _vo_pruning_shard, ctx, workers
+                    _vo_pruning_shard, ctx, workers, supervisor
                 ):
                     min_inf[lo:hi] = mi
                     vs_indexes[lo:hi] = vs
                     prune_counters.merge(shard_counters)
             else:
+                supervisor.check_deadline()
                 with prune_counters.phase("pruning"):
                     min_inf, vs_indexes = solver.pruning_phase(
                         table, cand_xy, prune_counters
@@ -359,6 +446,7 @@ class QueryEngine:
             base_min_inf, vs_indexes, snapshot = cached
             min_inf = base_min_inf.copy()
             counters.merge(snapshot)
+        supervisor.check_deadline()
         return solver.validation_phase(
             table, candidates, cand_xy, pf, tau, counters, min_inf, vs_indexes
         )
@@ -373,6 +461,7 @@ class QueryEngine:
         pf: ProbabilityFunction,
         tau: float,
         workers: int,
+        supervisor: Supervisor,
     ) -> LSResult:
         """Sharded full-table execution (NA/PIN); merges spans + counters."""
         m = cand_xy.shape[0]
@@ -392,7 +481,7 @@ class QueryEngine:
         )
         influence = np.zeros(m, dtype=int)
         for lo, hi, shard_influence, shard_counters in run_sharded(
-            task, ctx, workers
+            task, ctx, workers, supervisor
         ):
             influence[lo:hi] = shard_influence
             counters.merge(shard_counters)
@@ -408,6 +497,7 @@ class QueryEngine:
         tau: float,
         m: int,
         workers_used: int,
+        report: SupervisorReport,
     ) -> None:
         inst = result.instrumentation
         record = {
@@ -432,9 +522,53 @@ class QueryEngine:
             "candidate_misses": self.stats.candidate_misses,
             "pruning_hits": self.stats.pruning_hits,
             "pruning_misses": self.stats.pruning_misses,
+            "worker_failures": report.worker_failures,
+            "retries": report.retries,
+            "degraded": report.degraded,
+            "deadline_exceeded": False,
             "best_candidate": result.best_candidate.candidate_id,
             "best_influence": result.best_influence,
         }
+        self._append_record(record)
+
+    def _record_failure(
+        self,
+        pf: ProbabilityFunction,
+        tau: float,
+        m: int,
+        algorithm: str,
+        supervisor: Supervisor,
+        started: float,
+    ) -> None:
+        """Account a deadline-exceeded query in stats and metrics.
+
+        The query produced no result, but it still consumed a query id
+        and must be visible in the JSONL stream — a serving deployment
+        alerts on exactly these records.
+        """
+        report = supervisor.report
+        self.stats.worker_failures += report.worker_failures
+        self.stats.retries += report.retries
+        self.stats.deadline_exceeded += 1
+        query_id = self.stats.queries
+        self.stats.queries += 1
+        self._append_record({
+            "query": query_id,
+            "algorithm": algorithm,
+            "tau": tau,
+            "pf": repr(pf),
+            "candidates": m,
+            "elapsed_seconds": time.perf_counter() - started,
+            "deadline_seconds": supervisor.deadline_seconds,
+            "worker_failures": report.worker_failures,
+            "retries": report.retries,
+            "degraded": report.degraded,
+            "deadline_exceeded": True,
+            "best_candidate": None,
+            "best_influence": None,
+        })
+
+    def _append_record(self, record: dict) -> None:
         self.metrics_log.append(record)
         if self.metrics_path is not None:
             self.metrics_path.parent.mkdir(parents=True, exist_ok=True)

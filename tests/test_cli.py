@@ -32,6 +32,28 @@ class TestCLI:
         assert main(["demo", "--queries", "3"]) == 2
         assert "--queries" in capsys.readouterr().err
 
+    def test_deadline_flag_rejected_outside_serve_bench(self, capsys):
+        assert main(["demo", "--deadline", "1.0"]) == 2
+        assert "--deadline" in capsys.readouterr().err
+
+    def test_inject_fault_rejected_outside_serve_bench(self, capsys):
+        assert main(["table2", "--inject-fault", "crash:1"]) == 2
+        assert "--inject-fault" in capsys.readouterr().err
+
+    def test_serve_bench_rejects_bad_fault_spec(self, capsys):
+        assert main(
+            ["serve-bench", "--workers", "2", "--inject-fault", "bogus:1"]
+        ) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_serve_bench_rejects_faults_without_workers(self, capsys):
+        assert main(["serve-bench", "--inject-fault", "crash:1"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_bench_rejects_non_positive_deadline(self, capsys):
+        assert main(["serve-bench", "--deadline", "0"]) == 2
+        assert "--deadline" in capsys.readouterr().err
+
     def test_experiment_csv_export(self, capsys, tmp_path, monkeypatch):
         import dataclasses
 
@@ -69,6 +91,8 @@ class TestCLI:
         assert "engine caches" in stdout
         header = out.read_text().splitlines()[0]
         assert "cold_ms" in header and "warm_ms" in header
+        assert "supervision" in stdout
+
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
