@@ -1,0 +1,18 @@
+# Convenience entry points; every target works from a bare checkout
+# (no editable install needed) by putting src/ on PYTHONPATH.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench bench-record report
+
+test:            ## tier-1 test suite
+	$(PY) -m pytest -x -q
+
+bench:           ## paper-table benchmarks (archive under results/)
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-record:    ## serving scenarios -> BENCH_3.json + results/engine_pool_vs_fork.txt
+	$(PY) benchmarks/record_bench.py
+
+report:          ## regenerate REPORT.md (live claim audit)
+	$(PY) -m repro report

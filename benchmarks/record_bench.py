@@ -1,0 +1,202 @@
+"""Machine-readable serving-performance trajectory: ``BENCH_3.json``.
+
+Runs the five serving scenarios over one Gowalla-like fleet and a
+distinct 24-candidate set per query (so warm PIN-VO traffic really
+dispatches work instead of replaying the pruning cache):
+
+* **cold** — stateless ``select_location`` per query (fleet
+  materialised each time),
+* **warm-serial** — one primed :class:`~repro.engine.QueryEngine`,
+  ``workers=0``,
+* **warm-fork** — the engine's fork-per-query sharding, ``workers=4``,
+* **warm-pool** — the persistent shared-memory worker pool
+  (``pool=True``),
+* **batched** — all queries admitted through one
+  ``QueryEngine.query_batch`` round on the pool.
+
+Writes per-scenario p50/p95 latency and throughput to ``BENCH_3.json``
+at the repo root (the machine-readable artifact downstream tooling
+tracks across PRs) and the human-readable comparison table to
+``results/engine_pool_vs_fork.txt``.  Run it via ``make bench-record``
+or::
+
+    PYTHONPATH=src python benchmarks/record_bench.py
+
+The two acceptance ratios — pool ≥ 1.5× faster than fork at p50, and
+batched admission out-throughputing sequential pool queries — are
+checked here and reported in both artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import run_serve_bench
+from repro.engine.parallel import fork_available
+from repro.experiments.tables import TextTable
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def latency_stats(latencies_ms, **extra) -> dict:
+    """p50/p95/mean/total latency plus throughput for one scenario."""
+    arr = np.asarray(latencies_ms, dtype=float)
+    total_s = float(arr.sum()) / 1000.0
+    return {
+        "queries": int(arr.size),
+        "p50_ms": round(float(np.percentile(arr, 50)), 3),
+        "p95_ms": round(float(np.percentile(arr, 95)), 3),
+        "mean_ms": round(float(arr.mean()), 3),
+        "total_ms": round(float(arr.sum()), 3),
+        "throughput_qps": round(arr.size / total_s, 3) if total_s else None,
+        **extra,
+    }
+
+
+def run_scenarios(
+    n_queries: int = 12,
+    workers: int = 4,
+    algorithm: str = "PIN-VO",
+    seed: int = 11,
+) -> dict:
+    """Run all five scenarios; returns the ``BENCH_3.json`` payload."""
+    common = dict(
+        n_queries=n_queries,
+        algorithm=algorithm,
+        seed=seed,
+        distinct_candidates=True,
+    )
+    serial = run_serve_bench(workers=0, **common)
+    scenarios = {
+        "cold": latency_stats(serial.cold_ms),
+        "warm-serial": latency_stats(serial.warm_ms),
+    }
+    if fork_available():
+        fork = run_serve_bench(workers=workers, **common)
+        pool = run_serve_bench(workers=workers, pool=True, **common)
+        batch = run_serve_bench(
+            workers=workers, pool=True, batch=True, **common
+        )
+        scenarios["warm-fork"] = latency_stats(fork.warm_ms)
+        scenarios["warm-pool"] = latency_stats(
+            pool.warm_ms,
+            spans_dispatched=pool.spans_dispatched,
+            pool_respawns=pool.pool_respawns,
+        )
+        scenarios["batched"] = latency_stats(
+            batch.warm_ms,
+            spans_dispatched=batch.spans_dispatched,
+            pool_respawns=batch.pool_respawns,
+        )
+    comparisons = {}
+    if "warm-pool" in scenarios:
+        comparisons["pool_vs_fork_p50"] = round(
+            scenarios["warm-fork"]["p50_ms"]
+            / scenarios["warm-pool"]["p50_ms"],
+            3,
+        )
+        comparisons["batch_vs_pool_throughput"] = round(
+            scenarios["batched"]["throughput_qps"]
+            / scenarios["warm-pool"]["throughput_qps"],
+            3,
+        )
+    return {
+        "bench": "serving",
+        "workload": {
+            "n_queries": n_queries,
+            "workers": workers,
+            "algorithm": algorithm,
+            "seed": seed,
+            "n_objects": serial.n_objects,
+            "n_candidates": serial.n_candidates,
+            "distinct_candidates": True,
+        },
+        "scenarios": scenarios,
+        "comparisons": comparisons,
+    }
+
+
+def render(payload: dict) -> str:
+    """The human-readable scenario table archived under results/."""
+    table = TextTable(
+        ["scenario", "p50 ms", "p95 ms", "mean ms", "qps"]
+    )
+    for name, s in payload["scenarios"].items():
+        table.add_row(
+            [name, s["p50_ms"], s["p95_ms"], s["mean_ms"],
+             s["throughput_qps"]],
+            float_fmt="{:.2f}",
+        )
+    w = payload["workload"]
+    lines = [
+        table.render(
+            title=(
+                f"serving scenarios: {w['algorithm']}, "
+                f"{w['n_objects']} objects x {w['n_candidates']} "
+                f"candidates, {w['n_queries']} queries, "
+                f"workers={w['workers']}"
+            )
+        )
+    ]
+    c = payload["comparisons"]
+    if c:
+        lines.append(
+            f"pool vs fork p50 speedup: {c['pool_vs_fork_p50']:.2f}x "
+            f"(target >= 1.5x)"
+        )
+        lines.append(
+            f"batched vs sequential-pool throughput: "
+            f"{c['batch_vs_pool_throughput']:.2f}x (target > 1x)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """Run the scenarios and write both artifacts; 1 on a missed target."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", type=int, default=12)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--algorithm", default="PIN-VO")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--out", default=str(ROOT / "BENCH_3.json"),
+        help="where to write the JSON payload",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_scenarios(
+        n_queries=args.queries,
+        workers=args.workers,
+        algorithm=args.algorithm,
+        seed=args.seed,
+    )
+    text = render(payload)
+    print(text)
+
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    results_dir = ROOT / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "engine_pool_vs_fork.txt").write_text(text + "\n")
+    print(f"\nJSON written to {args.out}")
+    print(f"table archived to {results_dir / 'engine_pool_vs_fork.txt'}")
+
+    c = payload["comparisons"]
+    if not c:
+        print("fork unavailable: pool scenarios skipped", file=sys.stderr)
+        return 0
+    ok = (
+        c["pool_vs_fork_p50"] >= 1.5
+        and c["batch_vs_pool_throughput"] > 1.0
+    )
+    if not ok:
+        print("performance targets missed", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -149,6 +149,8 @@ def _cmd_serve_bench(
     out_csv: str | None,
     deadline: float | None,
     inject_faults: list[str] | None,
+    pool: bool = False,
+    batch: bool = False,
 ) -> int:
     """Run the warm-vs-cold serving benchmark (see repro.engine.bench)."""
     from repro.engine import FaultSpec, run_serve_bench
@@ -176,11 +178,20 @@ def _cmd_serve_bench(
             file=sys.stderr,
         )
         return 2
+    if (pool or batch) and workers < 2:
+        print(
+            "--pool/--batch need --workers >= 2 (a worker pool needs "
+            "at least two workers)",
+            file=sys.stderr,
+        )
+        return 2
     result = run_serve_bench(
         n_queries=queries,
         workers=workers,
         deadline_seconds=deadline,
         faults=faults,
+        pool=pool or batch,
+        batch=batch,
     )
     print(result.render())
     if out_csv:
@@ -195,7 +206,8 @@ def _cmd_serve_bench(
 _ALLOWED_FLAGS = {
     "demo": {"--svg"},
     "serve-bench": {
-        "--csv", "--queries", "--workers", "--deadline", "--inject-fault"
+        "--csv", "--queries", "--workers", "--deadline", "--inject-fault",
+        "--pool", "--batch",
     },
     "list": set(),
     "report": set(),
@@ -279,6 +291,25 @@ def main(argv: list[str] | None = None) -> int:
             "(e.g. crash:1, delay:0:*:0.5); repeatable"
         ),
     )
+    parser.add_argument(
+        "--pool",
+        action="store_true",
+        default=False,
+        help=(
+            "with 'serve-bench': serve warm queries from the "
+            "persistent shared-memory worker pool instead of forking "
+            "per query (needs --workers >= 2)"
+        ),
+    )
+    parser.add_argument(
+        "--batch",
+        action="store_true",
+        default=False,
+        help=(
+            "with 'serve-bench': admit all warm queries in one "
+            "query_batch round through the pool (implies --pool)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     provided = set()
@@ -294,6 +325,10 @@ def main(argv: list[str] | None = None) -> int:
         provided.add("--deadline")
     if args.inject_fault is not None:
         provided.add("--inject-fault")
+    if args.pool:
+        provided.add("--pool")
+    if args.batch:
+        provided.add("--batch")
     is_experiment = args.experiment in registry
     code = _check_flags(args.experiment, provided, is_experiment)
     if code:
@@ -313,6 +348,8 @@ def main(argv: list[str] | None = None) -> int:
             out_csv=args.csv,
             deadline=args.deadline,
             inject_faults=args.inject_fault,
+            pool=args.pool,
+            batch=args.batch,
         )
     if args.experiment == "report":
         from repro.experiments.report import generate_report

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.core.minmax_radius import MinMaxRadiusCache
 from repro.geo.mbr import MBR
 from repro.geo.regions import InfluenceArcsRegion, NonInfluenceBoundary
@@ -44,6 +46,121 @@ class ObjectEntry:
         return self.mbr.expanded(self.radius)
 
 
+@dataclass(frozen=True)
+class ColumnarTable:
+    """A flat, array-only export of a table's live entries (or a fleet).
+
+    Everything the pruning and validation kernels read, flattened into
+    five dense arrays so the whole structure can live in one
+    shared-memory block and be rebuilt zero-copy in another process:
+
+    * ``positions`` — the concatenated ``(Σn, 2)`` float64 position
+      block of every (live) object, in entry order,
+    * ``offsets`` — ``(count + 1,)`` int64 prefix offsets; object ``i``
+      owns rows ``positions[offsets[i]:offsets[i+1]]``,
+    * ``object_ids`` — ``(count,)`` int64,
+    * ``mbrs`` — ``(count, 4)`` float64 rows ``(min_x, min_y, max_x,
+      max_y)``, exported rather than recomputed so a rebuild is pure
+      reads,
+    * ``radii`` — ``(count,)`` float64 ``minMaxRadius`` per entry, or
+      ``None`` for a raw fleet export (no ``(PF, τ)`` attached).
+
+    Reconstruction from these arrays is bit-identical to the original:
+    float64 values round-trip exactly and every derived quantity
+    (IA/NIB regions, distances, probabilities) is a deterministic
+    function of them.
+    """
+
+    positions: np.ndarray
+    offsets: np.ndarray
+    object_ids: np.ndarray
+    mbrs: np.ndarray
+    radii: np.ndarray | None
+    #: objects dropped because minMaxRadius was undefined (0 for fleets)
+    dead_objects: int = 0
+
+    @property
+    def count(self) -> int:
+        return int(self.object_ids.shape[0])
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Name → array, for serialisation into a shared segment."""
+        out = {
+            "positions": self.positions,
+            "offsets": self.offsets,
+            "object_ids": self.object_ids,
+            "mbrs": self.mbrs,
+        }
+        if self.radii is not None:
+            out["radii"] = self.radii
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self.arrays().values())
+
+    def object_positions(self, i: int) -> np.ndarray:
+        """Object ``i``'s ``(n, 2)`` view into the position block."""
+        return self.positions[self.offsets[i] : self.offsets[i + 1]]
+
+
+def _columnar_from_parts(
+    objects_mbrs: "list[tuple[MovingObject, MBR]]",
+    radii: "list[float] | None",
+    dead_objects: int,
+) -> ColumnarTable:
+    """Flatten ``(object, mbr)`` pairs (+ optional radii) into arrays."""
+    count = len(objects_mbrs)
+    lengths = np.array(
+        [obj.n_positions for obj, _ in objects_mbrs], dtype=np.int64
+    )
+    offsets = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    positions = (
+        np.concatenate([obj.positions for obj, _ in objects_mbrs], axis=0)
+        if count
+        else np.empty((0, 2), dtype=np.float64)
+    )
+    return ColumnarTable(
+        positions=np.ascontiguousarray(positions, dtype=np.float64),
+        offsets=offsets,
+        object_ids=np.array(
+            [obj.object_id for obj, _ in objects_mbrs], dtype=np.int64
+        ),
+        mbrs=np.array(
+            [mbr.as_tuple() for _, mbr in objects_mbrs], dtype=np.float64
+        ).reshape(count, 4),
+        radii=(
+            np.array(radii, dtype=np.float64) if radii is not None else None
+        ),
+        dead_objects=dead_objects,
+    )
+
+
+def fleet_to_columnar(objects: Sequence[MovingObject]) -> ColumnarTable:
+    """Columnar export of a raw fleet (no ``(PF, τ)``, so no radii)."""
+    return _columnar_from_parts(
+        [(obj, obj.mbr) for obj in objects], None, 0
+    )
+
+
+def fleet_from_columnar(cols: ColumnarTable) -> list[MovingObject]:
+    """Rebuild the fleet as zero-copy views into ``cols.positions``."""
+    objects = []
+    for i in range(cols.count):
+        view = cols.object_positions(i)
+        view.setflags(write=False)
+        mx0, my0, mx1, my1 = cols.mbrs[i]
+        objects.append(
+            MovingObject.from_readonly(
+                int(cols.object_ids[i]),
+                view,
+                mbr=MBR(float(mx0), float(my0), float(mx1), float(my1)),
+            )
+        )
+    return objects
+
+
 class ObjectTable:
     """``A2D``: the per-object entries plus the shared radius memo."""
 
@@ -64,6 +181,51 @@ class ObjectTable:
                 self.dead_objects += 1
                 continue
             self.entries.append(ObjectEntry(obj, radius, obj.mbr))
+
+    def to_columnar(self) -> ColumnarTable:
+        """Flatten the live entries into a :class:`ColumnarTable`.
+
+        The export carries everything a worker process needs to answer
+        span tasks — positions, offsets, ids, MBRs, radii — so the
+        serving pool can publish one table per ``(PF, τ)`` in shared
+        memory and rebuild it with :meth:`from_columnar`.
+        """
+        return _columnar_from_parts(
+            [(e.obj, e.mbr) for e in self.entries],
+            [e.radius for e in self.entries],
+            self.dead_objects,
+        )
+
+    @classmethod
+    def from_columnar(
+        cls,
+        cols: ColumnarTable,
+        pf: ProbabilityFunction,
+        tau: float,
+    ) -> "ObjectTable":
+        """Rebuild a table from a columnar export, bit-identically.
+
+        Positions become zero-copy read-only views into
+        ``cols.positions`` (which may live in shared memory), MBRs and
+        radii are read back rather than recomputed, and the dead-object
+        count is preserved.  Requires ``cols.radii`` (a table export,
+        not a raw fleet).
+        """
+        if cols.radii is None:
+            raise ValueError(
+                "cannot rebuild an ObjectTable from a fleet export "
+                "(no radii); use fleet_from_columnar"
+            )
+        table = cls.__new__(cls)
+        table.pf = pf
+        table.tau = tau
+        table.radius_cache = MinMaxRadiusCache(pf, tau)
+        table.dead_objects = int(cols.dead_objects)
+        table.entries = [
+            ObjectEntry(obj, float(cols.radii[i]), obj.mbr)
+            for i, obj in enumerate(fleet_from_columnar(cols))
+        ]
+        return table
 
     @property
     def live_count(self) -> int:

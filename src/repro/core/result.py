@@ -60,6 +60,12 @@ class Instrumentation:
     #: exhausting its retry budget (kept as an int so merge() stays
     #: uniformly additive; any nonzero value means "degraded")
     degraded: int = 0
+    #: span tasks this query handed to the persistent worker pool,
+    #: including re-dispatches after failures (0 on the fork path)
+    spans_dispatched: int = 0
+    #: pool workers killed and replaced while this query (or the batch
+    #: round serving it) ran (0 on the fork path)
+    pool_respawns: int = 0
 
     def merge(self, other: "Instrumentation") -> None:
         """Accumulate another shard's (or phase's) counters into this one.

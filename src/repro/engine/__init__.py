@@ -2,15 +2,21 @@
 
 * :mod:`repro.engine.session` — :class:`QueryEngine`, the cross-query
   cache (object tables per ``(PF, τ)``, candidate arrays and R-trees
-  per candidate set) with hit/miss counters and a JSONL metrics log,
+  per candidate set, PIN-VO pruning output) with hit/miss counters, a
+  JSONL metrics log, and batched admission
+  (:meth:`QueryEngine.query_batch`),
+* :mod:`repro.engine.pool` — the persistent shared-memory worker pool
+  (``pool=True``): long-lived workers attach the columnar fleet/table
+  exports once and serve candidate-span tasks from a dispatch queue,
 * :mod:`repro.engine.parallel` — fork-based candidate-axis sharding,
   bit-identical to serial execution, supervised (per-shard retry with
-  bounded backoff, degrade-to-serial, hard deadline kills),
+  bounded backoff, degrade-to-serial, hard deadline kills); the
+  fallback when no pool is enabled (or a PF cannot be pickled),
 * :mod:`repro.engine.faults` — fault-injection hooks (worker crash,
   injected exception, artificial delay) plus the supervisor policy and
   report types,
 * :mod:`repro.engine.bench` — the warm-vs-cold serving benchmark
-  behind ``prime-ls serve-bench``.
+  behind ``prime-ls serve-bench`` (``--pool``/``--batch`` modes).
 """
 
 from repro.engine.bench import ServeBenchResult, run_serve_bench
@@ -23,11 +29,16 @@ from repro.engine.faults import (
     SupervisorReport,
 )
 from repro.engine.parallel import Supervisor, fork_available
-from repro.engine.session import EngineStats, QueryEngine
+from repro.engine.pool import SEGMENT_PREFIX, WorkerPool, pool_segments
+from repro.engine.session import EngineStats, QueryEngine, QueryRequest
 
 __all__ = [
     "QueryEngine",
+    "QueryRequest",
     "EngineStats",
+    "WorkerPool",
+    "pool_segments",
+    "SEGMENT_PREFIX",
     "ServeBenchResult",
     "run_serve_bench",
     "fork_available",

@@ -35,7 +35,7 @@ import numpy as np
 from repro import select_location
 from repro.datasets import gowalla_like
 from repro.engine.faults import DeadlineExceeded, FaultInjector, FaultSpec
-from repro.engine.session import QueryEngine
+from repro.engine.session import QueryEngine, QueryRequest
 from repro.experiments.tables import TextTable
 from repro.model import MovingObject
 from repro.prob import PowerLawPF
@@ -52,12 +52,16 @@ class ServeBenchResult:
     workers: int
     n_objects: int
     n_candidates: int
+    pool: bool = False
+    batch: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
     worker_failures: int = 0
     retries: int = 0
     degraded: int = 0
     deadline_exceeded: int = 0
+    spans_dispatched: int = 0
+    pool_respawns: int = 0
     query: list[int] = field(default_factory=list)
     tau: list[float] = field(default_factory=list)
     cold_ms: list[float] = field(default_factory=list)
@@ -82,12 +86,15 @@ class ServeBenchResult:
                  self.warm_ms[i], ratio],
                 float_fmt="{:.2f}",
             )
+        mode = "pool" if self.pool else "fork"
+        if self.batch:
+            mode += "+batch"
         lines = [
             table.render(
                 title=(
                     f"serve-bench: {self.algorithm}, "
                     f"{self.n_objects} objects x {self.n_candidates} "
-                    f"candidates, workers={self.workers}"
+                    f"candidates, workers={self.workers}, mode={mode}"
                 )
             ),
             (
@@ -105,6 +112,11 @@ class ServeBenchResult:
                 f"{self.deadline_exceeded} deadline-exceeded"
             ),
         ]
+        if self.pool:
+            lines.append(
+                f"pool: {self.spans_dispatched} spans dispatched, "
+                f"{self.pool_respawns} respawns"
+            )
         return "\n".join(lines)
 
 
@@ -117,15 +129,26 @@ def run_serve_bench(
     metrics_path=None,
     deadline_seconds: float | None = None,
     faults: Sequence[FaultSpec] = (),
+    pool: bool = False,
+    batch: bool = False,
+    distinct_candidates: bool | None = None,
 ) -> ServeBenchResult:
     """Measure warm (engine) versus cold (stateless) query latency.
 
-    The workload repeats ``TAUS`` across ``n_queries`` queries over one
-    candidate set — the shape a serving deployment amortises.  The warm
-    engine is primed with one unmeasured pass over the distinct τ
-    values so the measured queries are all cache hits; the cold path
-    rebuilds the fleet's per-object structures per query (see module
-    docstring).
+    The workload repeats ``TAUS`` across ``n_queries`` queries — the
+    shape a serving deployment amortises.  The warm engine is primed
+    with one unmeasured pass over the distinct τ values so the measured
+    queries hit the table caches; the cold path rebuilds the fleet's
+    per-object structures per query (see module docstring).
+
+    ``pool`` serves warm queries from the persistent shared-memory
+    worker pool instead of forking per query; ``batch`` admits all warm
+    queries through one :meth:`QueryEngine.query_batch` round (each
+    query's latency is then its share of the batch wall time).  Pool
+    and batch runs default to a *distinct* candidate set per query
+    (``distinct_candidates``): with one shared set every warm PIN-VO
+    query is a pruning-cache hit that never dispatches a span, which
+    would make dispatch-path comparisons meaningless.
 
     ``faults`` arms the warm engine's fault injector (the cold path
     stays fault-free, so the delta is pure supervision overhead), and
@@ -135,7 +158,16 @@ def run_serve_bench(
     world = gowalla_like(scale=scale, seed=seed)
     objects = world.dataset.objects
     rng = np.random.default_rng(seed)
-    candidates, _ = world.dataset.sample_candidates(24, rng)
+    if distinct_candidates is None:
+        distinct_candidates = pool or batch
+    if distinct_candidates:
+        cand_sets = [
+            world.dataset.sample_candidates(24, rng)[0]
+            for _ in range(n_queries)
+        ]
+    else:
+        shared, _ = world.dataset.sample_candidates(24, rng)
+        cand_sets = [shared] * n_queries
     pf = PowerLawPF()
     taus = [TAUS[i % len(TAUS)] for i in range(n_queries)]
 
@@ -143,13 +175,17 @@ def run_serve_bench(
         algorithm=algorithm,
         workers=workers,
         n_objects=len(objects),
-        n_candidates=len(candidates),
+        n_candidates=len(cand_sets[0]) if cand_sets else 0,
+        pool=pool,
+        batch=batch,
     )
 
     for i, tau in enumerate(taus):
         started = time.perf_counter()
         fleet = [MovingObject(o.object_id, o.positions) for o in objects]
-        select_location(fleet, candidates, pf=pf, tau=tau, algorithm=algorithm)
+        select_location(
+            fleet, cand_sets[i], pf=pf, tau=tau, algorithm=algorithm
+        )
         result.cold_ms.append((time.perf_counter() - started) * 1000.0)
         result.query.append(i)
         result.tau.append(tau)
@@ -158,26 +194,53 @@ def run_serve_bench(
     engine = QueryEngine(
         objects,
         workers=workers,
+        pool=pool,
         metrics_path=metrics_path,
         fault_injector=injector,
     )
-    for tau in TAUS:  # priming pass: populate the per-(pf, tau) caches
-        engine.query(candidates, pf=pf, tau=tau, algorithm=algorithm)
-    for tau in taus:
-        started = time.perf_counter()
-        try:
-            engine.query(
-                candidates, pf=pf, tau=tau, algorithm=algorithm,
-                deadline_seconds=deadline_seconds,
+    try:
+        for tau in TAUS:  # priming pass: populate the per-(pf, tau) caches
+            engine.query(cand_sets[0], pf=pf, tau=tau, algorithm=algorithm)
+        if batch:
+            requests = [
+                QueryRequest(cand_sets[i], pf, taus[i], algorithm)
+                for i in range(n_queries)
+            ]
+            started = time.perf_counter()
+            try:
+                engine.query_batch(
+                    requests, workers=workers,
+                    deadline_seconds=deadline_seconds,
+                )
+            except DeadlineExceeded:
+                pass  # counted in engine.stats.deadline_exceeded below
+            total_ms = (time.perf_counter() - started) * 1000.0
+            result.warm_ms.extend(
+                [total_ms / max(1, n_queries)] * n_queries
             )
-        except DeadlineExceeded:
-            pass  # counted in engine.stats.deadline_exceeded below
-        result.warm_ms.append((time.perf_counter() - started) * 1000.0)
+        else:
+            for i, tau in enumerate(taus):
+                started = time.perf_counter()
+                try:
+                    engine.query(
+                        cand_sets[i], pf=pf, tau=tau,
+                        algorithm=algorithm,
+                        deadline_seconds=deadline_seconds,
+                    )
+                except DeadlineExceeded:
+                    pass  # counted in engine.stats below
+                result.warm_ms.append(
+                    (time.perf_counter() - started) * 1000.0
+                )
 
-    result.cache_hits = engine.stats.hits
-    result.cache_misses = engine.stats.misses
-    result.worker_failures = engine.stats.worker_failures
-    result.retries = engine.stats.retries
-    result.degraded = engine.stats.degraded
-    result.deadline_exceeded = engine.stats.deadline_exceeded
+        result.cache_hits = engine.stats.hits
+        result.cache_misses = engine.stats.misses
+        result.worker_failures = engine.stats.worker_failures
+        result.retries = engine.stats.retries
+        result.degraded = engine.stats.degraded
+        result.deadline_exceeded = engine.stats.deadline_exceeded
+        result.spans_dispatched = engine.stats.spans_dispatched
+        result.pool_respawns = engine.stats.pool_respawns
+    finally:
+        engine.close()
     return result

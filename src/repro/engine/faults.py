@@ -211,7 +211,7 @@ class SupervisorPolicy:
 
 @dataclass
 class SupervisorReport:
-    """What supervision observed while answering one query."""
+    """What supervision observed while answering one query (or batch)."""
 
     #: shard dispatch attempts that died (crash, error, or EOF)
     worker_failures: int = 0
@@ -221,6 +221,12 @@ class SupervisorReport:
     degraded: bool = False
     #: the query was cut off by its deadline
     deadline_exceeded: bool = False
+    #: span tasks handed to the persistent pool, including re-dispatches
+    #: (zero on the fork-per-query path)
+    spans_dispatched: int = 0
+    #: persistent-pool workers killed and replaced while serving
+    #: (crashes and deadline kills alike; zero on the fork path)
+    respawns: int = 0
     #: human-readable trail of what happened, in order
     events: list[str] = field(default_factory=list)
 

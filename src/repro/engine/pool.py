@@ -1,0 +1,674 @@
+"""Persistent shared-memory worker pool for the serving engine.
+
+The fork-per-query path in :mod:`repro.engine.parallel` pays process
+startup and copy-on-write page faults on *every* dispatch (and again on
+every retry).  This module amortises that cost the way the engine's
+caches amortise table construction: ``QueryEngine`` lazily starts N
+long-lived workers, publishes the columnar export of each cached
+``(PF, τ)`` object table (:meth:`ObjectTable.to_columnar`) — and, for
+NA, the raw fleet — in ``multiprocessing.shared_memory`` segments, and
+thereafter every query only ships span *bounds* and candidate slices
+down a per-worker pipe.  Workers rebuild tables as zero-copy views into
+the shared position block (:meth:`ObjectTable.from_columnar`), so a
+warm query touches no table memory it does not read.
+
+Dispatch protocol (all messages are plain picklable tuples):
+
+* ``("attach", key, shm_name, meta, pf, tau)`` — worker opens the
+  named segment, rebuilds the table (or fleet when the export has no
+  radii) and memoises it under ``key``.  Sent lazily, once per worker
+  per segment; pipe FIFO ordering guarantees attach-before-span.
+* ``("span", task_id, key, kind, algorithm, kwargs, pf, tau,
+  cand_slice, query_id, attempt, injector)`` — run one candidate span
+  (``kind`` is ``"na"``/``"pin"``/``"vo_prune"``) and reply
+  ``("ok", task_id, payload, counters)`` or ``("error", task_id, msg)``.
+* ``("stop",)`` — detach segments and exit.
+
+Supervision mirrors the PR-2 fork-path semantics, adapted to long-lived
+workers: a dead worker is detected via its process sentinel (not pipe
+EOF — sibling forks inherit copies of the other pipes' fds, which would
+defeat EOF detection) alongside its result pipe, any buffered results
+are drained first, the worker is respawned (and lazily re-attached),
+and its in-flight spans are re-dispatched with bounded backoff.  Once a
+span exhausts :attr:`SupervisorPolicy.max_retries` it degrades to a
+serial in-parent run over the task's ``local_context`` — fault hooks
+never fire in the parent, so the degraded pass is fault-free by
+construction.  A deadline overrun hard-kills the busy workers (then
+respawns them so the pool stays warm), joins everything — no orphans —
+and raises :class:`~repro.engine.faults.DeadlineExceeded`.
+
+Results are bit-identical to serial: float64 round-trips through shared
+memory exactly, rebuilt tables reuse the exported MBRs/radii instead of
+recomputing them, and every span is a pure function of the table and
+its candidate slice (asserted in tests/test_pool.py, including under
+injected crash/delay faults and mid-batch respawns).
+
+Cleanup is belt and braces: :meth:`WorkerPool.close` stops the workers
+and unlinks every segment, a ``weakref.finalize`` hook does the same at
+garbage collection / interpreter exit, and both are guarded by an
+owner-pid check so a forked child can never unlink the parent's
+segments.  Segment names carry the :data:`SEGMENT_PREFIX` so tests and
+CI can assert ``/dev/shm`` is clean (:func:`pool_segments`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import uuid
+import weakref
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from multiprocessing.shared_memory import SharedMemory
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.object_table import (
+    ColumnarTable,
+    ObjectTable,
+    fleet_from_columnar,
+)
+from repro.core.result import Instrumentation
+from repro.engine.faults import DeadlineExceeded, SupervisorPolicy
+
+#: every pool segment's name starts with this, so leak checks can scan
+#: ``/dev/shm`` without tripping over unrelated segments
+SEGMENT_PREFIX = "pinls_"
+
+#: spans kept in flight per worker: one running plus one queued in the
+#: pipe, so a worker never idles between spans but a death never loses
+#: more than two dispatches
+MAX_INFLIGHT = 2
+
+
+def pool_segments() -> list[str]:
+    """Names of live pool shared-memory segments on this machine."""
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return []
+    return sorted(p.name for p in shm_dir.glob(SEGMENT_PREFIX + "*"))
+
+
+# ----------------------------------------------------------------------
+# Segment packing / attaching
+# ----------------------------------------------------------------------
+def _pack_segment(cols: ColumnarTable) -> tuple[SharedMemory, dict]:
+    """Copy a columnar export into one fresh shared-memory segment.
+
+    Returns the segment and a picklable ``meta`` dict describing each
+    array's dtype/shape/byte offset, enough for :func:`_attach_columnar`
+    to rebuild zero-copy views in another process.  All arrays use
+    8-byte dtypes, so packing them back to back keeps every offset
+    aligned.
+    """
+    arrays = cols.arrays()
+    total = sum(a.nbytes for a in arrays.values())
+    name = f"{SEGMENT_PREFIX}{os.getpid()}_{uuid.uuid4().hex[:10]}"
+    shm = SharedMemory(create=True, size=max(total, 1), name=name)
+    meta: dict = {"arrays": {}, "dead_objects": cols.dead_objects}
+    offset = 0
+    for key, arr in arrays.items():
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf,
+                          offset=offset)
+        view[...] = arr
+        meta["arrays"][key] = (str(arr.dtype), tuple(arr.shape), offset)
+        offset += arr.nbytes
+    return shm, meta
+
+
+def _attach_columnar(shm: SharedMemory, meta: dict) -> ColumnarTable:
+    """Rebuild a :class:`ColumnarTable` of read-only views over ``shm``."""
+    views: dict[str, np.ndarray] = {}
+    for key, (dtype, shape, offset) in meta["arrays"].items():
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf,
+                          offset=offset)
+        view.setflags(write=False)
+        views[key] = view
+    return ColumnarTable(
+        positions=views["positions"],
+        offsets=views["offsets"],
+        object_ids=views["object_ids"],
+        mbrs=views["mbrs"],
+        radii=views.get("radii"),
+        dead_objects=int(meta["dead_objects"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Span tasks
+# ----------------------------------------------------------------------
+@dataclass
+class SpanTask:
+    """One candidate-column span of one query, pool-dispatchable.
+
+    Only :meth:`message` travels to a worker; ``local_context`` (the
+    parent-side table or fleet used by the degrade-to-serial fallback)
+    deliberately stays out of it so spans never pickle object data.
+    The mutable tail fields are supervision bookkeeping the pool uses
+    to attribute failures/retries to the owning query.
+    """
+
+    task_id: int
+    query_index: int          # position of the owning query in its batch
+    segment_key: tuple        # which shared segment the worker reads
+    kind: str                 # "na" | "pin" | "vo_prune"
+    algorithm: str            # registry name to rebuild the solver from
+    algorithm_kwargs: dict
+    pf: Any
+    tau: float
+    cand_slice: np.ndarray    # this span's (hi - lo, 2) candidate columns
+    lo: int
+    hi: int
+    query_id: int | None = None   # engine query id, for fault keying
+    local_context: Any = None     # parent-side table/fleet; never pickled
+    attempt: int = 0
+    failures: int = 0
+    retries: int = 0
+    degraded: bool = False
+
+    def message(self, injector) -> tuple:
+        """The picklable pipe message dispatching this span."""
+        return (
+            "span", self.task_id, self.segment_key, self.kind,
+            self.algorithm, self.algorithm_kwargs, self.pf, self.tau,
+            self.cand_slice, self.query_id, self.attempt, injector,
+        )
+
+
+def _execute_span(kind: str, solver, data, cand_slice, pf, tau):
+    """Run one span the exact way the fork-path shard functions do."""
+    counters = Instrumentation()
+    if kind == "vo_prune":
+        with counters.phase("pruning"):
+            payload = solver.pruning_phase(data, cand_slice, counters)
+        return payload, counters
+    # "pin" reads the rebuilt table, "na" the rebuilt fleet
+    payload = solver.compute_influence(data, cand_slice, pf, tau, counters)
+    return payload, counters
+
+
+def _run_local(task: SpanTask):
+    """Degraded fallback: run the span in the parent on parent data."""
+    from repro import make_algorithm
+
+    solver = make_algorithm(task.algorithm, **task.algorithm_kwargs)
+    return _execute_span(
+        task.kind, solver, task.local_context, task.cand_slice,
+        task.pf, task.tau,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _solver_for(cache: dict, algorithm: str, kwargs: dict):
+    """Memoised solver construction inside a worker."""
+    key = (algorithm, tuple(sorted(kwargs.items())))
+    solver = cache.get(key)
+    if solver is None:
+        from repro import make_algorithm
+
+        solver = cache[key] = make_algorithm(algorithm, **kwargs)
+    return solver
+
+
+def _worker_main(slot: int, conn, sibling_conns) -> None:
+    """Long-lived worker loop: attach segments, answer spans, exit clean.
+
+    Exits via ``os._exit`` so the forked child never runs the parent's
+    atexit hooks (in particular the pool finalizer — doubly guarded,
+    since that also checks the owner pid) and never unlinks segments it
+    merely attached.
+    """
+    for sibling in sibling_conns:
+        # Inherited copies of the other workers' parent-side pipe ends;
+        # close them so this worker only ever holds its own pipe.
+        try:
+            sibling.close()
+        except OSError:
+            pass
+    segments: dict[tuple, SharedMemory] = {}
+    data: dict[tuple, Any] = {}
+    solvers: dict = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = msg[0]
+            if op == "stop":
+                break
+            if op == "attach":
+                _, key, shm_name, meta, pf, tau = msg
+                shm = SharedMemory(name=shm_name)
+                cols = _attach_columnar(shm, meta)
+                if cols.radii is None:
+                    data[key] = fleet_from_columnar(cols)
+                else:
+                    data[key] = ObjectTable.from_columnar(cols, pf, tau)
+                segments[key] = shm
+                continue
+            (_, task_id, key, kind, algorithm, kwargs, pf, tau,
+             cand_slice, query_id, attempt, injector) = msg
+            try:
+                if injector is not None:
+                    injector.fire(
+                        worker=slot, query=query_id, attempt=attempt
+                    )
+                solver = _solver_for(solvers, algorithm, kwargs)
+                payload, counters = _execute_span(
+                    kind, solver, data[key], cand_slice, pf, tau
+                )
+                conn.send(("ok", task_id, payload, counters))
+            except BaseException as exc:  # noqa: BLE001 — parent decides
+                try:
+                    conn.send(
+                        ("error", task_id, f"{type(exc).__name__}: {exc}")
+                    )
+                except (BrokenPipeError, OSError):
+                    break
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+        for shm in segments.values():
+            try:
+                shm.close()
+            except OSError:
+                pass
+        os._exit(0)
+
+
+# ----------------------------------------------------------------------
+# Parent-side pool
+# ----------------------------------------------------------------------
+@dataclass
+class _PoolWorker:
+    """Parent-side record of one pool slot."""
+
+    slot: int
+    process: multiprocessing.Process
+    conn: Any
+    #: segment keys this incarnation has attached (cleared by respawn)
+    attached: set = field(default_factory=set)
+    #: task_id -> SpanTask currently dispatched to this worker
+    inflight: dict = field(default_factory=dict)
+
+
+def _cleanup_state(state: dict) -> None:
+    """Finalizer body: kill leftover workers, unlink leftover segments.
+
+    Runs in the pool-owning process only — forked children inherit the
+    finalizer and must not tear down segments the parent still serves.
+    Idempotent, so an explicit :meth:`WorkerPool.close` followed by the
+    finalizer is harmless.
+    """
+    if os.getpid() != state["pid"]:
+        return
+    for proc in state["procs"]:
+        if proc.is_alive():
+            proc.kill()
+    for proc in state["procs"]:
+        try:
+            proc.join(timeout=1.0)
+        except (AssertionError, ValueError):
+            pass
+    for shm in state["shms"]:
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:
+            pass
+
+
+class WorkerPool:
+    """N long-lived fork workers sharing columnar fleet state.
+
+    Created lazily by :class:`~repro.engine.session.QueryEngine` on the
+    first pooled dispatch; one pool serves every subsequent query of
+    the session.  ``run_batch`` is the sole entry point: it dispatches
+    span tasks round-robin (at most :data:`MAX_INFLIGHT` per worker),
+    supervises failures per the :class:`SupervisorPolicy`, and returns
+    ``{task_id: (payload, counters)}``.
+    """
+
+    def __init__(self, size: int, policy: SupervisorPolicy | None = None):
+        if size < 2:
+            raise ValueError(f"a worker pool needs size >= 2, got {size}")
+        if not _fork_available():
+            raise RuntimeError("WorkerPool requires the fork start method")
+        self.size = int(size)
+        self.policy = policy or SupervisorPolicy()
+        self._mp = multiprocessing.get_context("fork")
+        # Start the resource tracker *before* forking workers so every
+        # worker inherits it: segment registrations then all land in
+        # one tracker (idempotent per name) and the parent's unlink
+        # clears them.  Without this each worker would lazily spawn its
+        # own tracker and warn about "leaked" segments at exit.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        #: key -> (shm, meta, pf, tau)
+        self._segments: dict[tuple, tuple] = {}
+        self._workers: list[_PoolWorker] = []
+        self._closed = False
+        #: workers killed and replaced over the pool's lifetime
+        self.respawns = 0
+        self._state = {"pid": os.getpid(), "procs": [], "shms": []}
+        self._finalizer = weakref.finalize(self, _cleanup_state, self._state)
+        for slot in range(self.size):
+            self._workers.append(self._spawn(slot))
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self, slot: int) -> _PoolWorker:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        siblings = [w.conn for w in self._workers if w is not None]
+        proc = self._mp.Process(
+            target=_worker_main,
+            args=(slot, child_conn, siblings),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._state["procs"].append(proc)
+        return _PoolWorker(slot, proc, parent_conn)
+
+    def ensure_segment(
+        self,
+        key: tuple,
+        builder: Callable[[], ColumnarTable],
+        pf=None,
+        tau: float = 0.0,
+    ) -> None:
+        """Publish ``builder()`` under ``key`` if not already published."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if key in self._segments:
+            return
+        shm, meta = _pack_segment(builder())
+        self._segments[key] = (shm, meta, pf, tau)
+        self._state["shms"].append(shm)
+
+    def close(self) -> None:
+        """Stop workers, join them, unlink every segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in self._workers:
+            worker.process.join(
+                timeout=max(0.0, deadline - time.monotonic())
+            )
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            worker.conn.close()
+        self._workers = []
+        for shm, _meta, _pf, _tau in self._segments.values():
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+        self._state["shms"].clear()
+        self._finalizer.detach()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def segment_names(self) -> list[str]:
+        """Names of the segments this pool currently owns."""
+        return [shm.name for shm, *_ in self._segments.values()]
+
+    # -- dispatch ------------------------------------------------------
+    def run_batch(self, tasks: list[SpanTask], supervisor) -> dict:
+        """Dispatch ``tasks``, supervise, return ``{task_id: result}``.
+
+        ``supervisor`` is the per-query/batch
+        :class:`~repro.engine.parallel.Supervisor`; its report is
+        updated in place (failures, retries, respawns, spans) and its
+        deadline is enforced — on overrun every busy worker is killed,
+        respawned, and joined before ``DeadlineExceeded`` propagates.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        for task in tasks:
+            task.attempt = 0
+            task.failures = 0
+            task.retries = 0
+            task.degraded = False
+        results: dict[int, Any] = {}
+        degraded: list[SpanTask] = []
+        pending: deque[SpanTask] = deque(tasks)
+        try:
+            while pending or any(w.inflight for w in self._workers):
+                supervisor.check_deadline()
+                self._fill(pending, supervisor)
+                self._wait_round(supervisor, results, pending, degraded)
+        except DeadlineExceeded:
+            self._kill_busy(supervisor)
+            raise
+        if degraded:
+            supervisor.report.degraded = True
+            supervisor.report.note(
+                f"running {len(degraded)} exhausted span(s) serially "
+                "in the parent"
+            )
+            for task in degraded:
+                supervisor.check_deadline()
+                results[task.task_id] = _run_local(task)
+        return results
+
+    def _fill(self, pending: deque, supervisor) -> None:
+        """Hand pending tasks to the least-loaded workers."""
+        while pending:
+            target = min(
+                (w for w in self._workers
+                 if len(w.inflight) < MAX_INFLIGHT),
+                key=lambda w: (len(w.inflight), w.slot),
+                default=None,
+            )
+            if target is None:
+                return
+            self._dispatch(pending.popleft(), target, supervisor)
+
+    def _dispatch(
+        self, task: SpanTask, worker: _PoolWorker, supervisor
+    ) -> None:
+        key = task.segment_key
+        if key not in worker.attached:
+            shm, meta, pf, tau = self._segments[key]
+            worker.conn.send(("attach", key, shm.name, meta, pf, tau))
+            worker.attached.add(key)
+        worker.conn.send(task.message(supervisor.injector))
+        worker.inflight[task.task_id] = task
+        supervisor.report.spans_dispatched += 1
+
+    def _wait_round(
+        self, supervisor, results: dict, pending: deque, degraded: list
+    ) -> None:
+        """One wait on every busy worker's pipe and process sentinel."""
+        waitees: dict[Any, _PoolWorker] = {}
+        for worker in self._workers:
+            if worker.inflight:
+                waitees[worker.conn] = worker
+                waitees[worker.process.sentinel] = worker
+        if not waitees:
+            return
+        ready = connection_wait(
+            list(waitees), timeout=supervisor.remaining()
+        )
+        if not ready:
+            supervisor.check_deadline()
+            return
+        handled_dead: set[int] = set()
+        for item in ready:
+            worker = waitees[item]
+            if (
+                self._workers[worker.slot] is not worker
+                or worker.slot in handled_dead
+            ):
+                continue  # already respawned while handling this round
+            if item is worker.conn:
+                try:
+                    msg = worker.conn.recv()
+                except (EOFError, OSError):
+                    handled_dead.add(worker.slot)
+                    self._handle_death(
+                        worker, supervisor, pending, degraded,
+                        results,
+                    )
+                    continue
+                self._apply_message(
+                    worker, msg, supervisor, results, pending, degraded
+                )
+            else:  # process sentinel
+                if worker.process.is_alive():
+                    continue
+                handled_dead.add(worker.slot)
+                self._handle_death(
+                    worker, supervisor, pending, degraded, results
+                )
+
+    def _apply_message(
+        self,
+        worker: _PoolWorker,
+        msg: tuple,
+        supervisor,
+        results: dict,
+        pending: deque,
+        degraded: list,
+    ) -> None:
+        status, task_id = msg[0], msg[1]
+        task = worker.inflight.pop(task_id, None)
+        if task is None:
+            return  # stale reply from a superseded dispatch
+        if status == "ok":
+            results[task_id] = (msg[2], msg[3])
+            return
+        task.failures += 1
+        supervisor.report.worker_failures += 1
+        supervisor.report.note(
+            f"pool worker {worker.slot} failed span {task_id}: {msg[2]}"
+        )
+        self._requeue([task], supervisor, pending, degraded)
+
+    def _handle_death(
+        self,
+        worker: _PoolWorker,
+        supervisor,
+        pending: deque,
+        degraded: list,
+        results: dict,
+    ) -> None:
+        """Drain, respawn, and re-dispatch after a worker died."""
+        # Results the worker sent before dying are still valid — drain
+        # them so completed spans are not recomputed.
+        while True:
+            try:
+                if not worker.conn.poll(0):
+                    break
+                msg = worker.conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                break
+            self._apply_message(
+                worker, msg, supervisor, results, pending, degraded
+            )
+        worker.process.join()
+        exitcode = worker.process.exitcode
+        worker.conn.close()
+        failed = list(worker.inflight.values())
+        worker.inflight.clear()
+        self.respawns += 1
+        supervisor.report.respawns += 1
+        supervisor.report.note(
+            f"pool worker {worker.slot} died (exitcode {exitcode}); "
+            "respawned"
+        )
+        self._workers[worker.slot] = self._spawn(worker.slot)
+        for task in failed:
+            task.failures += 1
+            supervisor.report.worker_failures += 1
+        if failed:
+            supervisor.report.note(
+                f"re-dispatching {len(failed)} span(s) lost with "
+                f"worker {worker.slot}"
+            )
+            self._requeue(failed, supervisor, pending, degraded)
+
+    def _requeue(
+        self,
+        failed: list[SpanTask],
+        supervisor,
+        pending: deque,
+        degraded: list,
+    ) -> None:
+        retry: list[SpanTask] = []
+        for task in failed:
+            if task.attempt >= self.policy.max_retries:
+                task.degraded = True
+                degraded.append(task)
+                supervisor.report.note(
+                    f"span {task.task_id} exhausted retries; "
+                    "will degrade to serial"
+                )
+            else:
+                retry.append(task)
+        if not retry:
+            return
+        pause = self.policy.backoff_for(min(t.attempt for t in retry))
+        remaining = supervisor.remaining()
+        if remaining is not None:
+            pause = min(pause, max(0.0, remaining))
+        supervisor.report.retries += len(retry)
+        for task in retry:
+            task.retries += 1
+            task.attempt += 1
+        supervisor.report.note(
+            f"retrying {len(retry)} span(s) after {pause:.3f}s backoff"
+        )
+        if pause > 0:
+            time.sleep(pause)
+        pending.extendleft(retry)
+
+    def _kill_busy(self, supervisor) -> None:
+        """Deadline fired: kill+respawn busy workers so none is orphaned
+        and the pool stays warm for the next query."""
+        killed = 0
+        for worker in list(self._workers):
+            if worker.inflight:
+                worker.process.kill()
+                worker.process.join()
+                worker.conn.close()
+                worker.inflight.clear()
+                self.respawns += 1
+                supervisor.report.respawns += 1
+                self._workers[worker.slot] = self._spawn(worker.slot)
+                killed += 1
+        if killed:
+            supervisor.report.note(
+                f"deadline expired: {killed} busy pool worker(s) killed "
+                "and respawned"
+            )
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()

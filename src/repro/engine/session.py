@@ -34,16 +34,17 @@ bit-identical to fresh ``select_location`` calls for every algorithm
 from __future__ import annotations
 
 import json
+import pickle
 import time
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.core.base import candidates_to_array
 from repro.core.naive import NaiveAlgorithm
-from repro.core.object_table import ObjectTable
+from repro.core.object_table import ObjectTable, fleet_to_columnar
 from repro.core.pinocchio import Pinocchio
 from repro.core.pinocchio_vo import PinocchioVO
 from repro.core.result import Instrumentation, LSResult, full_table_result
@@ -51,7 +52,6 @@ from repro.engine.faults import (
     DeadlineExceeded,
     FaultInjector,
     SupervisorPolicy,
-    SupervisorReport,
 )
 from repro.engine.parallel import (
     ShardContext,
@@ -59,9 +59,11 @@ from repro.engine.parallel import (
     _naive_shard,
     _pin_shard,
     _vo_pruning_shard,
+    column_spans,
     fork_available,
     run_sharded,
 )
+from repro.engine.pool import SpanTask, WorkerPool
 from repro.index.rtree import RTree
 from repro.model.candidate import Candidate
 from repro.model.moving_object import MovingObject
@@ -91,6 +93,13 @@ class EngineStats:
     degraded: int = 0
     #: queries cut off by their ``deadline_seconds``
     deadline_exceeded: int = 0
+    #: span tasks handed to the persistent worker pool, including
+    #: re-dispatches after failures (fork-per-query dispatches excluded)
+    spans_dispatched: int = 0
+    #: pool workers killed and replaced (crashes and deadline kills)
+    pool_respawns: int = 0
+    #: admission size of every ``query_batch`` call, in call order
+    batch_sizes: list[int] = field(default_factory=list)
 
     @property
     def hits(self) -> int:
@@ -141,6 +150,42 @@ def _pf_key(pf: ProbabilityFunction) -> tuple:
     return ("id", id(pf))
 
 
+@dataclass
+class QueryRequest:
+    """One query of a :meth:`QueryEngine.query_batch` admission round.
+
+    ``pf=None`` resolves to the engine's default probability function,
+    exactly like :meth:`QueryEngine.query`.
+    """
+
+    candidates: Sequence[Candidate]
+    pf: ProbabilityFunction | None = None
+    tau: float = 0.7
+    algorithm: str = "PIN-VO"
+    algorithm_kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class _BatchPlan:
+    """Planning state for one request of a pooled batch."""
+
+    request: QueryRequest
+    solver: Any
+    pf: ProbabilityFunction
+    tau: float
+    candidates: list
+    cand_xy: np.ndarray
+    query_id: int
+    #: "vo" (pooled PIN-VO), "table" (pooled PIN/NA), or "serial"
+    mode: str = "serial"
+    table: ObjectTable | None = None
+    #: for mode "vo": "dispatch" (this plan owns the pruning round) or
+    #: "cached" (already memoised, or owned by an earlier batch member)
+    pruning: str | None = None
+    pruning_key: tuple | None = None
+    tasks: list = field(default_factory=list)
+
+
 class QueryEngine:
     """A serving session over one ingested fleet of moving objects.
 
@@ -161,6 +206,7 @@ class QueryEngine:
         objects: Sequence[MovingObject],
         *,
         workers: int = 0,
+        pool: bool = False,
         metrics_path: str | Path | None = None,
         default_pf: ProbabilityFunction | None = None,
         fault_injector: FaultInjector | None = None,
@@ -179,6 +225,10 @@ class QueryEngine:
             _ = obj.mbr
         self.ingest_seconds = time.perf_counter() - started
         self.workers = int(workers)
+        #: serve sharded spans from the persistent shared-memory worker
+        #: pool (:mod:`repro.engine.pool`) instead of forking per query
+        self.use_pool = bool(pool)
+        self._pool: WorkerPool | None = None
         #: fault hooks handed to every worker dispatch (testing/chaos
         #: drills only — leave ``None`` in production)
         self.fault_injector = fault_injector
@@ -238,13 +288,118 @@ class QueryEngine:
         return rtree
 
     def cache_info(self) -> dict:
-        """Sizes of the three caches plus the hit/miss counters."""
+        """Sizes of the four caches plus the hit/miss counters.
+
+        ``prunings`` is the PIN-VO pruning-output cache — the one cache
+        warm PIN-VO traffic actually exercises, so operators need to
+        see it grow (regression-tested in tests/test_engine.py).
+        """
         return {
             "tables": len(self._tables),
             "candidate_sets": len(self._cand_arrays),
             "rtrees": len(self._rtrees),
+            "prunings": len(self._prunings),
             **self.stats.as_dict(),
         }
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def _pool_for(self, workers: int) -> WorkerPool:
+        """The session's persistent pool, started on first pooled query."""
+        if self._pool is None or self._pool.closed:
+            self._pool = WorkerPool(
+                max(2, self.workers, workers),
+                policy=self.supervisor_policy,
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool: workers stopped and joined, every
+        shared-memory segment unlinked.  Idempotent; the engine stays
+        usable — the next pooled query simply starts a fresh pool.
+        A ``weakref.finalize`` hook inside the pool performs the same
+        teardown at garbage collection / interpreter exit, so segments
+        never outlive the process even without an explicit ``close``.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    @staticmethod
+    def _poolable(pf: ProbabilityFunction) -> bool:
+        """Whether ``pf`` can travel to pool workers (span messages are
+        pickled, unlike the fork path's copy-on-write inheritance)."""
+        try:
+            pickle.dumps(pf)
+        except Exception:
+            return False
+        return True
+
+    def _pool_segment_key(self, kind: str, pf, tau: float) -> tuple:
+        return (
+            ("fleet",) if kind == "na"
+            else ("table", _pf_key(pf), float(tau))
+        )
+
+    def _ensure_pool_segment(
+        self, pool: WorkerPool, kind: str, pf, tau: float,
+        table: ObjectTable | None,
+    ) -> tuple:
+        """Publish the table (or fleet) segment ``kind`` reads; returns
+        its key.  One segment per ``(PF, τ)`` serves both PIN spans and
+        PIN-VO pruning spans; NA reads the single radius-free fleet
+        segment."""
+        key = self._pool_segment_key(kind, pf, tau)
+        if kind == "na":
+            pool.ensure_segment(
+                key, lambda: fleet_to_columnar(self.objects)
+            )
+        else:
+            pool.ensure_segment(key, table.to_columnar, pf, tau)
+        return key
+
+    def _span_tasks(
+        self,
+        kind: str,
+        segment_key: tuple,
+        algorithm: str,
+        algorithm_kwargs: dict,
+        pf,
+        tau: float,
+        cand_xy: np.ndarray,
+        shards: int,
+        query_index: int,
+        query_id: int | None,
+        local_context,
+        start_id: int = 0,
+    ) -> list[SpanTask]:
+        """Build the pool tasks for one query's candidate spans."""
+        tasks = []
+        for lo, hi in column_spans(cand_xy.shape[0], shards):
+            tasks.append(SpanTask(
+                task_id=start_id + len(tasks),
+                query_index=query_index,
+                segment_key=segment_key,
+                kind=kind,
+                algorithm=algorithm,
+                algorithm_kwargs=dict(algorithm_kwargs),
+                pf=pf,
+                tau=float(tau),
+                cand_slice=cand_xy[lo:hi],
+                lo=lo,
+                hi=hi,
+                query_id=query_id,
+                local_context=local_context,
+            ))
+        return tasks
 
     # ------------------------------------------------------------------
     # Queries
@@ -309,7 +464,7 @@ class QueryEngine:
             deadline_seconds=deadline_seconds,
         )
         try:
-            result, workers_used = self._execute(
+            result, workers_used, pooled = self._execute(
                 candidates, pf, tau, algorithm, workers, supervisor,
                 algorithm_kwargs,
             )
@@ -325,14 +480,23 @@ class QueryEngine:
         inst.worker_failures += report.worker_failures
         inst.retries += report.retries
         inst.degraded += int(report.degraded)
+        inst.spans_dispatched += report.spans_dispatched
+        inst.pool_respawns += report.respawns
+        self._fold_report(report)
+        self.stats.queries += 1
+        self._record_metrics(
+            result, pf, tau, len(candidates), workers_used,
+            pooled=pooled,
+        )
+        return result
+
+    def _fold_report(self, report) -> None:
+        """Accumulate one supervision report into the session stats."""
         self.stats.worker_failures += report.worker_failures
         self.stats.retries += report.retries
         self.stats.degraded += int(report.degraded)
-        self.stats.queries += 1
-        self._record_metrics(
-            result, pf, tau, len(candidates), workers_used, report
-        )
-        return result
+        self.stats.spans_dispatched += report.spans_dispatched
+        self.stats.pool_respawns += report.respawns
 
     def _execute(
         self,
@@ -343,8 +507,14 @@ class QueryEngine:
         workers: int,
         supervisor: Supervisor,
         algorithm_kwargs: dict,
-    ) -> tuple[LSResult, int]:
-        """Resolve one query through the caches and (maybe) workers."""
+    ) -> tuple[LSResult, int, bool]:
+        """Resolve one query through the caches and (maybe) workers.
+
+        Returns ``(result, workers_used, pooled)``.  When the engine
+        was built with ``pool=True``, sharded spans go to the
+        persistent worker pool; a PF that cannot be pickled falls back
+        to the fork path (which inherits it copy-on-write).
+        """
         # Deferred to dodge the repro <-> repro.engine import cycle:
         # the package re-exports QueryEngine from its __init__.
         from repro import make_algorithm
@@ -356,33 +526,43 @@ class QueryEngine:
         uses_table = isinstance(solver, (Pinocchio, PinocchioVO))
         table = self.table_for(pf, tau) if uses_table else None
         parallel = workers > 1 and fork_available()
+        pooled = parallel and self.use_pool and self._poolable(pf)
 
         if isinstance(solver, PinocchioVO):
             result = self._query_vo(
                 solver, table, candidates, cand_xy, pf, tau,
                 workers if parallel else 1, supervisor,
+                pooled=pooled, algorithm=algorithm,
+                algorithm_kwargs=algorithm_kwargs,
             )
-            return result, workers if parallel else 1
+            return result, workers if parallel else 1, pooled
 
-        task = None
+        kind = None
         if parallel:
             if isinstance(solver, Pinocchio):
-                task = _pin_shard
+                kind = "pin"
             elif (
                 isinstance(solver, NaiveAlgorithm)
                 and solver.kernel == "vector"
             ):
-                task = _naive_shard
-        if task is not None:
+                kind = "na"
+        if kind is not None and pooled:
+            result = self._run_pooled(
+                solver, kind, table, candidates, cand_xy, pf, tau,
+                workers, supervisor, algorithm, algorithm_kwargs,
+            )
+            return result, workers, True
+        if kind is not None:
+            task = _pin_shard if kind == "pin" else _naive_shard
             result = self._run_parallel(
                 solver, task, table, candidates, cand_xy, pf, tau,
                 workers, supervisor,
             )
-            return result, workers
+            return result, workers, False
         supervisor.check_deadline()
         if table is not None:
             solver.table_factory = lambda _objects, _pf, _tau: table
-        return solver.select(self.objects, candidates, pf, tau), 1
+        return solver.select(self.objects, candidates, pf, tau), 1, False
 
     def _query_vo(
         self,
@@ -394,6 +574,9 @@ class QueryEngine:
         tau: float,
         workers: int,
         supervisor: Supervisor,
+        pooled: bool = False,
+        algorithm: str = "PIN-VO",
+        algorithm_kwargs: dict | None = None,
     ) -> LSResult:
         """PIN-VO through the pruning cache, then sequential validation.
 
@@ -418,7 +601,12 @@ class QueryEngine:
         if cached is None:
             self.stats.pruning_misses += 1
             prune_counters = Instrumentation()
-            if workers > 1:
+            if workers > 1 and pooled:
+                min_inf, vs_indexes = self._pooled_vo_pruning(
+                    table, cand_xy, pf, tau, workers, supervisor,
+                    algorithm, algorithm_kwargs or {}, prune_counters,
+                )
+            elif workers > 1:
                 ctx = ShardContext(
                     solver=solver, objects=self.objects, table=table,
                     cand_xy=cand_xy, pf=pf, tau=tau,
@@ -487,6 +675,380 @@ class QueryEngine:
             counters.merge(shard_counters)
         return full_table_result(solver.name, candidates, influence, counters)
 
+    def _run_pooled(
+        self,
+        solver,
+        kind: str,
+        table: ObjectTable | None,
+        candidates: list[Candidate],
+        cand_xy: np.ndarray,
+        pf: ProbabilityFunction,
+        tau: float,
+        workers: int,
+        supervisor: Supervisor,
+        algorithm: str,
+        algorithm_kwargs: dict,
+    ) -> LSResult:
+        """Full-table execution (NA/PIN) through the persistent pool."""
+        m = cand_xy.shape[0]
+        counters = Instrumentation()
+        if table is not None:
+            counters.dead_objects = table.dead_objects
+            counters.pairs_total = table.live_count * m
+        else:
+            counters.pairs_total = len(self.objects) * m
+        pool = self._pool_for(workers)
+        key = self._ensure_pool_segment(pool, kind, pf, tau, table)
+        local = table if table is not None else self.objects
+        tasks = self._span_tasks(
+            kind, key, algorithm, algorithm_kwargs, pf, tau, cand_xy,
+            workers, 0, supervisor.query_id, local,
+        )
+        outputs = pool.run_batch(tasks, supervisor)
+        influence = np.zeros(m, dtype=int)
+        for task in tasks:
+            payload, span_counters = outputs[task.task_id]
+            influence[task.lo:task.hi] = payload
+            counters.merge(span_counters)
+        return full_table_result(solver.name, candidates, influence, counters)
+
+    def _pooled_vo_pruning(
+        self,
+        table: ObjectTable,
+        cand_xy: np.ndarray,
+        pf: ProbabilityFunction,
+        tau: float,
+        workers: int,
+        supervisor: Supervisor,
+        algorithm: str,
+        algorithm_kwargs: dict,
+        prune_counters: Instrumentation,
+    ) -> tuple[np.ndarray, list]:
+        """PIN-VO's pruning phase through the persistent pool."""
+        m = cand_xy.shape[0]
+        pool = self._pool_for(workers)
+        key = self._ensure_pool_segment(pool, "vo_prune", pf, tau, table)
+        tasks = self._span_tasks(
+            "vo_prune", key, algorithm, algorithm_kwargs, pf, tau,
+            cand_xy, workers, 0, supervisor.query_id, table,
+        )
+        outputs = pool.run_batch(tasks, supervisor)
+        min_inf = np.zeros(m, dtype=int)
+        vs_indexes: list[np.ndarray] = [None] * m  # type: ignore[list-item]
+        for task in tasks:
+            (mi, vs), span_counters = outputs[task.task_id]
+            min_inf[task.lo:task.hi] = mi
+            vs_indexes[task.lo:task.hi] = vs
+            prune_counters.merge(span_counters)
+        return min_inf, vs_indexes
+
+    # ------------------------------------------------------------------
+    # Batched admission
+    # ------------------------------------------------------------------
+    def query_batch(
+        self,
+        requests: "Sequence[QueryRequest | Sequence[Candidate]]",
+        *,
+        pf: ProbabilityFunction | None = None,
+        tau: float = 0.7,
+        algorithm: str = "PIN-VO",
+        workers: int | None = None,
+        deadline_seconds: float | None = None,
+        **algorithm_kwargs,
+    ) -> list[LSResult]:
+        """Answer several queries in one coalesced admission round.
+
+        ``requests`` holds :class:`QueryRequest` objects or plain
+        candidate sequences (wrapped with the call-level ``pf``/
+        ``tau``/``algorithm`` defaults).  Results come back in request
+        order and are bit-identical to issuing the same ``query`` calls
+        sequentially — including cache effects: requests are planned in
+        order, so a later request repeating an earlier one's PIN-VO
+        pruning key counts as a pruning hit and reuses its output.
+
+        On a pool-enabled engine (``pool=True``) with ``workers > 1``
+        every shardable span of every request is dispatched to the
+        persistent pool in a *single* round, so workers stream spans
+        back-to-back instead of idling between queries; the sequential
+        PIN-VO validations then run in the parent in request order.
+        Otherwise the batch degenerates to a sequential loop of
+        :meth:`query` calls (batching only buys throughput when there
+        is a pool to keep busy).
+
+        ``deadline_seconds`` bounds the *whole batch*: on overrun every
+        busy pool worker is killed, respawned and joined, a failure
+        record is written for each request that produced no result, and
+        :class:`~repro.engine.faults.DeadlineExceeded` is raised.
+        """
+        reqs: list[QueryRequest] = []
+        for entry in requests:
+            if isinstance(entry, QueryRequest):
+                reqs.append(entry)
+            else:
+                reqs.append(QueryRequest(
+                    list(entry), pf, tau, algorithm,
+                    dict(algorithm_kwargs),
+                ))
+        if not reqs:
+            raise ValueError("need at least one request in the batch")
+        workers = self.workers if workers is None else int(workers)
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be > 0, got {deadline_seconds}"
+            )
+        self.stats.batch_sizes.append(len(reqs))
+        pooled = self.use_pool and workers > 1 and fork_available()
+        if not pooled:
+            return [
+                self.query(
+                    r.candidates, pf=r.pf, tau=r.tau,
+                    algorithm=r.algorithm, workers=workers,
+                    deadline_seconds=deadline_seconds,
+                    **r.algorithm_kwargs,
+                )
+                for r in reqs
+            ]
+        return self._query_batch_pooled(reqs, workers, deadline_seconds)
+
+    def _query_batch_pooled(
+        self,
+        reqs: list[QueryRequest],
+        workers: int,
+        deadline_seconds: float | None,
+    ) -> list[LSResult]:
+        """Plan → one pool dispatch round → assemble, in request order."""
+        from repro import make_algorithm
+
+        started = time.perf_counter()
+        base_id = self.stats.queries
+        supervisor = Supervisor(
+            self.supervisor_policy,
+            injector=self.fault_injector,
+            query_id=base_id,
+            deadline_seconds=deadline_seconds,
+        )
+        pool = self._pool_for(workers)
+
+        # Plan every request in order, resolving caches exactly as the
+        # sequential path would, and collect all dispatchable spans.
+        plans: list[_BatchPlan] = []
+        all_tasks: list[SpanTask] = []
+        planned_keys: set[tuple] = set()
+        for q, req in enumerate(reqs):
+            rpf = req.pf
+            if rpf is None:
+                if self._default_pf is None:
+                    self._default_pf = PowerLawPF()
+                rpf = self._default_pf
+            rtau = float(req.tau)
+            if not 0.0 < rtau < 1.0:
+                raise ValueError(f"tau must be in (0, 1), got {req.tau}")
+            cands = list(req.candidates)
+            if not cands:
+                raise ValueError("need at least one candidate location")
+            solver = make_algorithm(req.algorithm, **req.algorithm_kwargs)
+            solver.rtree_factory = self.rtree_for
+            cand_xy = self._cand_xy_for(cands)
+            uses_table = isinstance(solver, (Pinocchio, PinocchioVO))
+            table = self.table_for(rpf, rtau) if uses_table else None
+            plan = _BatchPlan(
+                request=req, solver=solver, pf=rpf, tau=rtau,
+                candidates=cands, cand_xy=cand_xy,
+                query_id=base_id + q, table=table,
+            )
+            shardable = self._poolable(rpf)
+            if isinstance(solver, PinocchioVO) and shardable:
+                plan.mode = "vo"
+                key = (
+                    _pf_key(rpf), rtau, cand_xy.tobytes(),
+                    solver.use_pruning,
+                )
+                plan.pruning_key = key
+                if key in self._prunings or key in planned_keys:
+                    self.stats.pruning_hits += 1
+                    plan.pruning = "cached"
+                else:
+                    self.stats.pruning_misses += 1
+                    plan.pruning = "dispatch"
+                    planned_keys.add(key)
+                    seg = self._ensure_pool_segment(
+                        pool, "vo_prune", rpf, rtau, table
+                    )
+                    plan.tasks = self._span_tasks(
+                        "vo_prune", seg, req.algorithm,
+                        req.algorithm_kwargs, rpf, rtau, cand_xy,
+                        workers, q, plan.query_id, table,
+                        start_id=len(all_tasks),
+                    )
+                    all_tasks.extend(plan.tasks)
+            elif shardable and isinstance(solver, Pinocchio):
+                plan.mode = "table"
+                seg = self._ensure_pool_segment(
+                    pool, "pin", rpf, rtau, table
+                )
+                plan.tasks = self._span_tasks(
+                    "pin", seg, req.algorithm, req.algorithm_kwargs,
+                    rpf, rtau, cand_xy, workers, q, plan.query_id,
+                    table, start_id=len(all_tasks),
+                )
+                all_tasks.extend(plan.tasks)
+            elif (
+                shardable
+                and isinstance(solver, NaiveAlgorithm)
+                and solver.kernel == "vector"
+            ):
+                plan.mode = "table"
+                seg = self._ensure_pool_segment(
+                    pool, "na", rpf, rtau, None
+                )
+                plan.tasks = self._span_tasks(
+                    "na", seg, req.algorithm, req.algorithm_kwargs,
+                    rpf, rtau, cand_xy, workers, q, plan.query_id,
+                    self.objects, start_id=len(all_tasks),
+                )
+                all_tasks.extend(plan.tasks)
+            plans.append(plan)
+
+        # One dispatch round for every span of every request.
+        try:
+            outputs = (
+                pool.run_batch(all_tasks, supervisor) if all_tasks else {}
+            )
+        except DeadlineExceeded:
+            self._fold_report(supervisor.report)
+            self._batch_failures(plans, supervisor, started, len(reqs))
+            raise
+        self._fold_report(supervisor.report)
+
+        # Assemble results in request order (sequential VO validations).
+        out: list[LSResult] = []
+        for i, plan in enumerate(plans):
+            try:
+                supervisor.check_deadline()
+                result = self._assemble_plan(plan, outputs, supervisor)
+            except DeadlineExceeded:
+                self._batch_failures(
+                    plans[i:], supervisor, started, len(reqs)
+                )
+                raise
+            result.elapsed_seconds = time.perf_counter() - started
+            inst = result.instrumentation
+            inst.worker_failures += sum(t.failures for t in plan.tasks)
+            inst.retries += sum(t.retries for t in plan.tasks)
+            inst.degraded += int(any(t.degraded for t in plan.tasks))
+            inst.spans_dispatched += sum(
+                1 + t.retries for t in plan.tasks
+            )
+            # a respawned worker serves the whole round, so every batch
+            # member reports the round's respawn count
+            inst.pool_respawns += supervisor.report.respawns
+            self.stats.queries += 1
+            self._record_metrics(
+                result, plan.pf, plan.tau, len(plan.candidates),
+                workers, pooled=True, batch_size=len(reqs),
+            )
+            out.append(result)
+        return out
+
+    def _assemble_plan(
+        self, plan: _BatchPlan, outputs: dict, supervisor: Supervisor
+    ) -> LSResult:
+        """Turn one batch member's span outputs into its LSResult."""
+        if plan.mode == "serial":
+            solver = plan.solver
+            if isinstance(solver, PinocchioVO):
+                return self._query_vo(
+                    solver, plan.table, plan.candidates, plan.cand_xy,
+                    plan.pf, plan.tau, 1, supervisor,
+                )
+            supervisor.check_deadline()
+            if plan.table is not None:
+                solver.table_factory = lambda _o, _p, _t: plan.table
+            return solver.select(
+                self.objects, plan.candidates, plan.pf, plan.tau
+            )
+        m = plan.cand_xy.shape[0]
+        counters = Instrumentation()
+        if plan.table is not None:
+            counters.dead_objects = plan.table.dead_objects
+            counters.pairs_total = plan.table.live_count * m
+        else:
+            counters.pairs_total = len(self.objects) * m
+        if plan.mode == "table":
+            influence = np.zeros(m, dtype=int)
+            for task in plan.tasks:
+                payload, span_counters = outputs[task.task_id]
+                influence[task.lo:task.hi] = payload
+                counters.merge(span_counters)
+            return full_table_result(
+                plan.solver.name, plan.candidates, influence, counters
+            )
+        # mode "vo"
+        if plan.pruning == "dispatch":
+            prune_counters = Instrumentation()
+            min_inf = np.zeros(m, dtype=int)
+            vs_indexes: list[np.ndarray] = [None] * m  # type: ignore[list-item]
+            for task in plan.tasks:
+                (mi, vs), span_counters = outputs[task.task_id]
+                min_inf[task.lo:task.hi] = mi
+                vs_indexes[task.lo:task.hi] = vs
+                prune_counters.merge(span_counters)
+            self._prunings[plan.pruning_key] = (
+                min_inf.copy(), vs_indexes, _counts_only(prune_counters)
+            )
+            counters.merge(prune_counters)
+        else:
+            # "cached": memoised before the batch, or stored moments
+            # ago by the earlier batch member that owned the dispatch
+            base_min_inf, vs_indexes, snapshot = self._prunings[
+                plan.pruning_key
+            ]
+            min_inf = base_min_inf.copy()
+            counters.merge(snapshot)
+        supervisor.check_deadline()
+        return plan.solver.validation_phase(
+            plan.table, plan.candidates, plan.cand_xy, plan.pf,
+            plan.tau, counters, min_inf, vs_indexes,
+        )
+
+    def _batch_failures(
+        self,
+        plans: list[_BatchPlan],
+        supervisor: Supervisor,
+        started: float,
+        batch_size: int,
+    ) -> None:
+        """Deadline overran the batch: account every unfinished member.
+
+        The supervision totals were already folded into the stats by
+        the caller; here each request that produced no result consumes
+        its query id and emits a failure record.
+        """
+        report = supervisor.report
+        elapsed = time.perf_counter() - started
+        for plan in plans:
+            self.stats.deadline_exceeded += 1
+            self.stats.queries += 1
+            self._append_record({
+                "query": plan.query_id,
+                "algorithm": plan.request.algorithm,
+                "tau": plan.tau,
+                "pf": repr(plan.pf),
+                "candidates": len(plan.candidates),
+                "elapsed_seconds": elapsed,
+                "deadline_seconds": supervisor.deadline_seconds,
+                "worker_failures": report.worker_failures,
+                "retries": report.retries,
+                "degraded": report.degraded,
+                "deadline_exceeded": True,
+                "pool": True,
+                "batch_size": batch_size,
+                "spans_dispatched": report.spans_dispatched,
+                "pool_respawns": report.respawns,
+                "best_candidate": None,
+                "best_influence": None,
+            })
+
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
@@ -497,7 +1059,9 @@ class QueryEngine:
         tau: float,
         m: int,
         workers_used: int,
-        report: SupervisorReport,
+        *,
+        pooled: bool = False,
+        batch_size: int = 1,
     ) -> None:
         inst = result.instrumentation
         record = {
@@ -522,10 +1086,14 @@ class QueryEngine:
             "candidate_misses": self.stats.candidate_misses,
             "pruning_hits": self.stats.pruning_hits,
             "pruning_misses": self.stats.pruning_misses,
-            "worker_failures": report.worker_failures,
-            "retries": report.retries,
-            "degraded": report.degraded,
+            "worker_failures": inst.worker_failures,
+            "retries": inst.retries,
+            "degraded": bool(inst.degraded),
             "deadline_exceeded": False,
+            "pool": pooled,
+            "batch_size": batch_size,
+            "spans_dispatched": inst.spans_dispatched,
+            "pool_respawns": inst.pool_respawns,
             "best_candidate": result.best_candidate.candidate_id,
             "best_influence": result.best_influence,
         }
@@ -549,6 +1117,8 @@ class QueryEngine:
         report = supervisor.report
         self.stats.worker_failures += report.worker_failures
         self.stats.retries += report.retries
+        self.stats.spans_dispatched += report.spans_dispatched
+        self.stats.pool_respawns += report.respawns
         self.stats.deadline_exceeded += 1
         query_id = self.stats.queries
         self.stats.queries += 1
@@ -564,6 +1134,10 @@ class QueryEngine:
             "retries": report.retries,
             "degraded": report.degraded,
             "deadline_exceeded": True,
+            "pool": report.spans_dispatched > 0,
+            "batch_size": 1,
+            "spans_dispatched": report.spans_dispatched,
+            "pool_respawns": report.respawns,
             "best_candidate": None,
             "best_influence": None,
         })

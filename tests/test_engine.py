@@ -104,6 +104,20 @@ class TestEquivalence:
         # The hit skipped the pruning phase, so it reports no time there.
         assert second.instrumentation.pruning_seconds == 0.0
 
+    def test_cache_info_reports_pruning_cache_size(
+        self, world, candidates, pf
+    ):
+        # Regression: cache_info() used to omit the PIN-VO pruning
+        # cache, the one cache warm PIN-VO traffic actually exercises.
+        engine = QueryEngine(world)
+        assert engine.cache_info()["prunings"] == 0
+        engine.query(candidates, pf=pf, tau=0.7, algorithm="PIN-VO")
+        info = engine.cache_info()
+        assert info["prunings"] == 1
+        assert info["tables"] == 1
+        engine.query(candidates, pf=pf, tau=0.8, algorithm="PIN-VO")
+        assert engine.cache_info()["prunings"] == 2
+
     def test_rtree_reused_across_queries(self, world, candidates, pf):
         engine = QueryEngine(world)
         engine.query(
