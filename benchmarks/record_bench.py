@@ -1,6 +1,6 @@
-"""Machine-readable serving-performance trajectory: ``BENCH_3.json``.
+"""Machine-readable serving-performance trajectory: ``BENCH_4.json``.
 
-Runs the five serving scenarios over one Gowalla-like fleet and a
+Runs the six serving scenarios over one Gowalla-like fleet and a
 distinct 24-candidate set per query (so warm PIN-VO traffic really
 dispatches work instead of replaying the pruning cache):
 
@@ -12,19 +12,26 @@ dispatches work instead of replaying the pruning cache):
 * **warm-pool** — the persistent shared-memory worker pool
   (``pool=True``),
 * **batched** — all queries admitted through one
-  ``QueryEngine.query_batch`` round on the pool.
+  ``QueryEngine.query_batch`` round on the pool,
+* **overload** — the same workload offered at 4× the admission budget
+  (``max_inflight=1``, three of every four arrivals meet a full queue
+  via injected ``overload`` phantom load): the excess is shed with
+  typed outcomes and the *completed* queries must keep their latency —
+  p99 within 2× of the unloaded warm-serial p99.
 
-Writes per-scenario p50/p95 latency and throughput to ``BENCH_3.json``
-at the repo root (the machine-readable artifact downstream tooling
-tracks across PRs) and the human-readable comparison table to
-``results/engine_pool_vs_fork.txt``.  Run it via ``make bench-record``
+Writes per-scenario p50/p95/p99 latency and throughput to
+``BENCH_4.json`` at the repo root (the machine-readable artifact
+downstream tooling tracks across PRs), the human-readable comparison
+table to ``results/engine_pool_vs_fork.txt``, and the overload summary
+to ``results/engine_overload.txt``.  Run it via ``make bench-record``
 or::
 
     PYTHONPATH=src python benchmarks/record_bench.py
 
-The two acceptance ratios — pool ≥ 1.5× faster than fork at p50, and
-batched admission out-throughputing sequential pool queries — are
-checked here and reported in both artifacts.
+The acceptance ratios — pool ≥ 1.5× faster than fork at p50, batched
+admission out-throughputing sequential pool queries, and the overload
+p99 bound with a non-empty shed count — are checked here and reported
+in the artifacts.
 """
 
 from __future__ import annotations
@@ -32,30 +39,118 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.engine import run_serve_bench
+from repro.datasets import gowalla_like
+from repro.engine import (
+    FaultInjector,
+    FaultSpec,
+    QueryEngine,
+    QueryShedError,
+    run_serve_bench,
+)
+from repro.engine.bench import TAUS
 from repro.engine.parallel import fork_available
 from repro.experiments.tables import TextTable
+from repro.prob import PowerLawPF
 
 ROOT = Path(__file__).resolve().parent.parent
 
 
 def latency_stats(latencies_ms, **extra) -> dict:
-    """p50/p95/mean/total latency plus throughput for one scenario."""
+    """p50/p95/p99/mean/total latency plus throughput for one scenario."""
     arr = np.asarray(latencies_ms, dtype=float)
     total_s = float(arr.sum()) / 1000.0
     return {
         "queries": int(arr.size),
         "p50_ms": round(float(np.percentile(arr, 50)), 3),
         "p95_ms": round(float(np.percentile(arr, 95)), 3),
+        "p99_ms": round(float(np.percentile(arr, 99)), 3),
         "mean_ms": round(float(arr.mean()), 3),
         "total_ms": round(float(arr.sum()), 3),
         "throughput_qps": round(arr.size / total_s, 3) if total_s else None,
         **extra,
     }
+
+
+def run_overload_scenario(
+    n_queries: int = 12,
+    algorithm: str = "PIN-VO",
+    seed: int = 11,
+) -> dict:
+    """Serve the workload unloaded, then at 4× admission pressure.
+
+    Both passes run the same primed serial engine configuration and
+    time every query individually.  The overloaded pass arms admission
+    control (``max_inflight=1``) and injects ``overload`` phantom load
+    on three of every four measured queries, so arrivals meet a full
+    queue 75% of the time — 4× the admission budget in aggregate.
+    Shed queries cost near-zero and are excluded from the completed
+    latency distribution by construction (they raise
+    :class:`QueryShedError`).
+    """
+    world = gowalla_like(scale=0.1, seed=seed)
+    objects = world.dataset.objects
+    rng = np.random.default_rng(seed)
+    cand_sets = [
+        world.dataset.sample_candidates(24, rng)[0]
+        for _ in range(n_queries)
+    ]
+    pf = PowerLawPF()
+    taus = [TAUS[i % len(TAUS)] for i in range(n_queries)]
+
+    def timed_pass(engine):
+        latencies, shed = [], 0
+        for i in range(n_queries):
+            started = time.perf_counter()
+            try:
+                engine.query(
+                    cand_sets[i], pf=pf, tau=taus[i], algorithm=algorithm
+                )
+            except QueryShedError:
+                shed += 1
+                continue
+            latencies.append((time.perf_counter() - started) * 1000.0)
+        return latencies, shed
+
+    engine = QueryEngine(objects)
+    try:
+        for tau in TAUS:  # unmeasured priming pass (query ids 0-2)
+            engine.query(cand_sets[0], pf=pf, tau=tau, algorithm=algorithm)
+        unloaded, _ = timed_pass(engine)
+    finally:
+        engine.close()
+
+    # The priming pass consumes query ids 0-2; phantom load hits the
+    # measured ids 3.. except every fourth, which completes.
+    faults = [
+        FaultSpec(kind="overload", query=3 + i, times=1)
+        for i in range(n_queries)
+        if i % 4 != 0
+    ]
+    engine = QueryEngine(
+        objects,
+        max_inflight=1,
+        fault_injector=FaultInjector(faults),
+    )
+    try:
+        for tau in TAUS:
+            engine.query(cand_sets[0], pf=pf, tau=tau, algorithm=algorithm)
+        completed, shed = timed_pass(engine)
+        report = engine.admission.report
+        return {
+            "unloaded": latency_stats(unloaded),
+            "completed": latency_stats(completed),
+            "offered": n_queries,
+            "shed": shed,
+            "shed_reasons": sorted({s.reason for s in report.shed}),
+            "pressure": "4x",
+        }
+    finally:
+        engine.close()
 
 
 def run_scenarios(
@@ -64,7 +159,7 @@ def run_scenarios(
     algorithm: str = "PIN-VO",
     seed: int = 11,
 ) -> dict:
-    """Run all five scenarios; returns the ``BENCH_3.json`` payload."""
+    """Run all six scenarios; returns the ``BENCH_4.json`` payload."""
     common = dict(
         n_queries=n_queries,
         algorithm=algorithm,
@@ -93,6 +188,10 @@ def run_scenarios(
             spans_dispatched=batch.spans_dispatched,
             pool_respawns=batch.pool_respawns,
         )
+    overload = run_overload_scenario(
+        n_queries=n_queries, algorithm=algorithm, seed=seed
+    )
+    scenarios["overload"] = overload
     comparisons = {}
     if "warm-pool" in scenarios:
         comparisons["pool_vs_fork_p50"] = round(
@@ -105,6 +204,10 @@ def run_scenarios(
             / scenarios["warm-pool"]["throughput_qps"],
             3,
         )
+    comparisons["overload_p99_vs_unloaded"] = round(
+        overload["completed"]["p99_ms"] / overload["unloaded"]["p99_ms"],
+        3,
+    )
     return {
         "bench": "serving",
         "workload": {
@@ -127,6 +230,8 @@ def render(payload: dict) -> str:
         ["scenario", "p50 ms", "p95 ms", "mean ms", "qps"]
     )
     for name, s in payload["scenarios"].items():
+        if name == "overload":  # different shape: see render_overload()
+            continue
         table.add_row(
             [name, s["p50_ms"], s["p95_ms"], s["mean_ms"],
              s["throughput_qps"]],
@@ -156,6 +261,41 @@ def render(payload: dict) -> str:
     return "\n".join(lines)
 
 
+def render_overload(payload: dict) -> str:
+    """The overload summary archived to ``results/engine_overload.txt``."""
+    o = payload["scenarios"]["overload"]
+    ratio = payload["comparisons"]["overload_p99_vs_unloaded"]
+    table = TextTable(["pass", "queries", "p50 ms", "p95 ms", "p99 ms"])
+    table.add_row(
+        ["unloaded", o["unloaded"]["queries"], o["unloaded"]["p50_ms"],
+         o["unloaded"]["p95_ms"], o["unloaded"]["p99_ms"]],
+        float_fmt="{:.2f}",
+    )
+    table.add_row(
+        ["overloaded (completed)", o["completed"]["queries"],
+         o["completed"]["p50_ms"], o["completed"]["p95_ms"],
+         o["completed"]["p99_ms"]],
+        float_fmt="{:.2f}",
+    )
+    return "\n".join([
+        table.render(
+            title=(
+                f"overload scenario: {o['offered']} queries offered at "
+                f"{o['pressure']} admission pressure"
+            )
+        ),
+        (
+            f"shed: {o['shed']} of {o['offered']} queries "
+            f"(reasons: {', '.join(o['shed_reasons'])}) — every shed is "
+            f"a typed QueryShed outcome with a JSONL record"
+        ),
+        (
+            f"completed-query p99 vs unloaded p99: {ratio:.2f}x "
+            f"(target <= 2x)"
+        ),
+    ])
+
+
 def main(argv=None) -> int:
     """Run the scenarios and write both artifacts; 1 on a missed target."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -164,7 +304,7 @@ def main(argv=None) -> int:
     parser.add_argument("--algorithm", default="PIN-VO")
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument(
-        "--out", default=str(ROOT / "BENCH_3.json"),
+        "--out", default=str(ROOT / "BENCH_4.json"),
         help="where to write the JSON payload",
     )
     args = parser.parse_args(argv)
@@ -176,22 +316,37 @@ def main(argv=None) -> int:
         seed=args.seed,
     )
     text = render(payload)
+    overload_text = render_overload(payload)
     print(text)
+    print()
+    print(overload_text)
 
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     results_dir = ROOT / "results"
     results_dir.mkdir(exist_ok=True)
     (results_dir / "engine_pool_vs_fork.txt").write_text(text + "\n")
+    (results_dir / "engine_overload.txt").write_text(overload_text + "\n")
     print(f"\nJSON written to {args.out}")
     print(f"table archived to {results_dir / 'engine_pool_vs_fork.txt'}")
+    print(
+        f"overload summary archived to "
+        f"{results_dir / 'engine_overload.txt'}"
+    )
 
     c = payload["comparisons"]
-    if not c:
+    o = payload["scenarios"]["overload"]
+    overload_ok = (
+        c["overload_p99_vs_unloaded"] <= 2.0 and o["shed"] > 0
+    )
+    if not overload_ok:
+        print("overload acceptance missed", file=sys.stderr)
+    if "pool_vs_fork_p50" not in c:
         print("fork unavailable: pool scenarios skipped", file=sys.stderr)
-        return 0
+        return 0 if overload_ok else 1
     ok = (
         c["pool_vs_fork_p50"] >= 1.5
         and c["batch_vs_pool_throughput"] > 1.0
+        and overload_ok
     )
     if not ok:
         print("performance targets missed", file=sys.stderr)

@@ -151,9 +151,13 @@ def _cmd_serve_bench(
     inject_faults: list[str] | None,
     pool: bool = False,
     batch: bool = False,
+    max_inflight: int | None = None,
+    shed_policy: str | None = None,
+    breaker: int | None = None,
 ) -> int:
     """Run the warm-vs-cold serving benchmark (see repro.engine.bench)."""
-    from repro.engine import FaultSpec, run_serve_bench
+    from repro.engine import SHED_POLICIES, FaultSpec, run_serve_bench
+    from repro.engine.faults import WORKER_FAULT_KINDS
 
     if queries < 1:
         print(f"--queries must be >= 1, got {queries}", file=sys.stderr)
@@ -164,6 +168,29 @@ def _cmd_serve_bench(
     if deadline is not None and deadline <= 0:
         print(f"--deadline must be > 0, got {deadline}", file=sys.stderr)
         return 2
+    if max_inflight is not None and max_inflight <= 0:
+        print(
+            f"--max-inflight must be >= 1, got {max_inflight}",
+            file=sys.stderr,
+        )
+        return 2
+    if shed_policy is not None and shed_policy not in SHED_POLICIES:
+        print(
+            f"--shed-policy must be one of {', '.join(SHED_POLICIES)}; "
+            f"got {shed_policy!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if shed_policy is not None and max_inflight is None:
+        print(
+            "--shed-policy needs --max-inflight (admission control is "
+            "off without an in-flight budget)",
+            file=sys.stderr,
+        )
+        return 2
+    if breaker is not None and breaker <= 0:
+        print(f"--breaker must be >= 1, got {breaker}", file=sys.stderr)
+        return 2
     faults = []
     for text in inject_faults or []:
         try:
@@ -171,10 +198,11 @@ def _cmd_serve_bench(
         except ValueError as exc:
             print(f"--inject-fault: {exc}", file=sys.stderr)
             return 2
-    if faults and workers < 2:
+    worker_faults = [f for f in faults if f.kind in WORKER_FAULT_KINDS]
+    if worker_faults and workers < 2:
         print(
-            "--inject-fault needs --workers >= 2 (faults only fire in "
-            "worker processes)",
+            "--inject-fault needs --workers >= 2 for worker fault "
+            "kinds (they only fire in worker processes)",
             file=sys.stderr,
         )
         return 2
@@ -192,6 +220,9 @@ def _cmd_serve_bench(
         faults=faults,
         pool=pool or batch,
         batch=batch,
+        max_inflight=max_inflight,
+        shed_policy=shed_policy or "reject",
+        breaker_threshold=breaker,
     )
     print(result.render())
     if out_csv:
@@ -207,7 +238,7 @@ _ALLOWED_FLAGS = {
     "demo": {"--svg"},
     "serve-bench": {
         "--csv", "--queries", "--workers", "--deadline", "--inject-fault",
-        "--pool", "--batch",
+        "--pool", "--batch", "--max-inflight", "--shed-policy", "--breaker",
     },
     "list": set(),
     "report": set(),
@@ -310,6 +341,37 @@ def main(argv: list[str] | None = None) -> int:
             "query_batch round through the pool (implies --pool)"
         ),
     )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with 'serve-bench': admission budget for concurrently "
+            "admitted warm queries; excess queries are shed (with "
+            "--batch, at most N + queue-depth requests per round run)"
+        ),
+    )
+    parser.add_argument(
+        "--shed-policy",
+        default=None,
+        metavar="POLICY",
+        help=(
+            "with 'serve-bench': which queries to shed when admission "
+            "overflows — reject, oldest, or by-priority (needs "
+            "--max-inflight)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with 'serve-bench': consecutive shard failures that trip "
+            "an execution tier's circuit breaker (default 3)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     provided = set()
@@ -329,6 +391,12 @@ def main(argv: list[str] | None = None) -> int:
         provided.add("--pool")
     if args.batch:
         provided.add("--batch")
+    if args.max_inflight is not None:
+        provided.add("--max-inflight")
+    if args.shed_policy is not None:
+        provided.add("--shed-policy")
+    if args.breaker is not None:
+        provided.add("--breaker")
     is_experiment = args.experiment in registry
     code = _check_flags(args.experiment, provided, is_experiment)
     if code:
@@ -350,6 +418,9 @@ def main(argv: list[str] | None = None) -> int:
             inject_faults=args.inject_fault,
             pool=args.pool,
             batch=args.batch,
+            max_inflight=args.max_inflight,
+            shed_policy=args.shed_policy,
+            breaker=args.breaker,
         )
     if args.experiment == "report":
         from repro.experiments.report import generate_report

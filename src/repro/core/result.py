@@ -66,6 +66,9 @@ class Instrumentation:
     #: pool workers killed and replaced while this query (or the batch
     #: round serving it) ran (0 on the fork path)
     pool_respawns: int = 0
+    #: engine cache entries evicted while this query was served (the
+    #: serving engine's bounded LRU caches; 0 outside the engine)
+    cache_evictions: int = 0
 
     def merge(self, other: "Instrumentation") -> None:
         """Accumulate another shard's (or phase's) counters into this one.

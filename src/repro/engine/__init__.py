@@ -13,13 +13,36 @@
   bounded backoff, degrade-to-serial, hard deadline kills); the
   fallback when no pool is enabled (or a PF cannot be pickled),
 * :mod:`repro.engine.faults` — fault-injection hooks (worker crash,
-  injected exception, artificial delay) plus the supervisor policy and
-  report types,
+  injected exception, artificial delay, plus the parent-side
+  ``overload``/``memory-pressure`` kinds) and the supervisor policy
+  and report types,
+* :mod:`repro.engine.admission` — bounded in-flight admission control
+  with pluggable shedding policies and typed
+  :class:`~repro.engine.admission.QueryShed` outcomes,
+* :mod:`repro.engine.breaker` — per-tier circuit breakers and the
+  lossless pool → fork → serial degradation ladder,
+* :mod:`repro.engine.cache` — bounded-memory LRU caches and the
+  engine-level :class:`~repro.engine.cache.CacheBudget`,
 * :mod:`repro.engine.bench` — the warm-vs-cold serving benchmark
-  behind ``prime-ls serve-bench`` (``--pool``/``--batch`` modes).
+  behind ``prime-ls serve-bench`` (``--pool``/``--batch`` modes, plus
+  the admission/breaker overload knobs).
 """
 
+from repro.engine.admission import (
+    SHED_POLICIES,
+    AdmissionController,
+    QueryShed,
+    QueryShedError,
+    ShedReport,
+)
 from repro.engine.bench import ServeBenchResult, run_serve_bench
+from repro.engine.breaker import (
+    TIERS,
+    BreakerConfig,
+    CircuitBreaker,
+    DegradationLadder,
+)
+from repro.engine.cache import CacheBudget, LRUCache
 from repro.engine.faults import (
     DeadlineExceeded,
     FaultInjector,
@@ -49,4 +72,15 @@ __all__ = [
     "Supervisor",
     "SupervisorPolicy",
     "SupervisorReport",
+    "AdmissionController",
+    "QueryShed",
+    "QueryShedError",
+    "ShedReport",
+    "SHED_POLICIES",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "TIERS",
+    "CacheBudget",
+    "LRUCache",
 ]

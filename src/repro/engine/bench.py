@@ -34,6 +34,8 @@ import numpy as np
 
 from repro import select_location
 from repro.datasets import gowalla_like
+from repro.engine.admission import QueryShedError
+from repro.engine.breaker import BreakerConfig
 from repro.engine.faults import DeadlineExceeded, FaultInjector, FaultSpec
 from repro.engine.session import QueryEngine, QueryRequest
 from repro.experiments.tables import TextTable
@@ -62,6 +64,14 @@ class ServeBenchResult:
     deadline_exceeded: int = 0
     spans_dispatched: int = 0
     pool_respawns: int = 0
+    #: admission budget the warm engine ran with (None = unbounded)
+    max_inflight: int | None = None
+    shed_policy: str = "reject"
+    queries_shed: int = 0
+    breaker_trips: int = 0
+    cache_evictions: int = 0
+    #: the tier the engine would serve the *next* query on at bench end
+    final_tier: str = "serial"
     query: list[int] = field(default_factory=list)
     tau: list[float] = field(default_factory=list)
     cold_ms: list[float] = field(default_factory=list)
@@ -117,6 +127,18 @@ class ServeBenchResult:
                 f"pool: {self.spans_dispatched} spans dispatched, "
                 f"{self.pool_respawns} respawns"
             )
+        # the shed/degradation summary the chaos drill greps for
+        budget = (
+            self.max_inflight
+            if self.max_inflight is not None else "unbounded"
+        )
+        lines.append(
+            f"overload: {self.queries_shed} queries shed "
+            f"(policy {self.shed_policy}, max-inflight {budget}), "
+            f"{self.breaker_trips} breaker trips, "
+            f"{self.cache_evictions} cache evictions, "
+            f"final tier {self.final_tier}"
+        )
         return "\n".join(lines)
 
 
@@ -132,6 +154,10 @@ def run_serve_bench(
     pool: bool = False,
     batch: bool = False,
     distinct_candidates: bool | None = None,
+    max_inflight: int | None = None,
+    max_queue_depth: int | None = None,
+    shed_policy: str = "reject",
+    breaker_threshold: int | None = None,
 ) -> ServeBenchResult:
     """Measure warm (engine) versus cold (stateless) query latency.
 
@@ -154,6 +180,16 @@ def run_serve_bench(
     stays fault-free, so the delta is pure supervision overhead), and
     ``deadline_seconds`` bounds every warm query — deadline overruns
     are counted, not raised.
+
+    ``max_inflight``/``max_queue_depth``/``shed_policy`` arm the warm
+    engine's admission control; a shed query (which only happens under
+    ``batch`` admission rounds or an injected ``overload`` fault —
+    sequential queries never exceed one in flight) is counted, its
+    near-zero shed time recorded, and the bench moves on.
+    ``breaker_threshold`` overrides the degradation ladder's
+    consecutive-failure trip point.  The trailing ``overload:`` summary
+    line reports queries shed, breaker trips, cache evictions, and the
+    tier the engine would serve the next query on.
     """
     world = gowalla_like(scale=scale, seed=seed)
     objects = world.dataset.objects
@@ -178,6 +214,8 @@ def run_serve_bench(
         n_candidates=len(cand_sets[0]) if cand_sets else 0,
         pool=pool,
         batch=batch,
+        max_inflight=max_inflight,
+        shed_policy=shed_policy,
     )
 
     for i, tau in enumerate(taus):
@@ -197,6 +235,13 @@ def run_serve_bench(
         pool=pool,
         metrics_path=metrics_path,
         fault_injector=injector,
+        max_inflight=max_inflight,
+        max_queue_depth=max_queue_depth,
+        shed_policy=shed_policy,
+        breaker=(
+            BreakerConfig(failure_threshold=breaker_threshold)
+            if breaker_threshold is not None else None
+        ),
     )
     try:
         for tau in TAUS:  # priming pass: populate the per-(pf, tau) caches
@@ -227,7 +272,7 @@ def run_serve_bench(
                         algorithm=algorithm,
                         deadline_seconds=deadline_seconds,
                     )
-                except DeadlineExceeded:
+                except (DeadlineExceeded, QueryShedError):
                     pass  # counted in engine.stats below
                 result.warm_ms.append(
                     (time.perf_counter() - started) * 1000.0
@@ -241,6 +286,10 @@ def run_serve_bench(
         result.deadline_exceeded = engine.stats.deadline_exceeded
         result.spans_dispatched = engine.stats.spans_dispatched
         result.pool_respawns = engine.stats.pool_respawns
+        result.queries_shed = engine.stats.queries_shed
+        result.breaker_trips = engine.stats.breaker_trips
+        result.cache_evictions = engine._total_evictions()
+        result.final_tier = engine.health()["tier"]
     finally:
         engine.close()
     return result

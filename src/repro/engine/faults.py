@@ -9,9 +9,14 @@ This module supplies that machinery:
   schedules (worker crash, injected exception, artificial delay) keyed
   by worker/shard index, engine query id, and dispatch attempt.  The
   injector is consulted by :mod:`repro.engine.parallel` inside each
-  forked worker, immediately before the shard task runs; faults never
-  fire in the parent process, so the retry and degrade-to-serial paths
-  are fault-free by construction.
+  forked worker, immediately before the shard task runs; worker faults
+  never fire in the parent process, so the retry and degrade-to-serial
+  paths are fault-free by construction.  Two *parent-side* kinds drive
+  the overload-resilience layer instead of workers: ``overload``
+  saturates the engine's admission budget with phantom in-flight load
+  (forcing typed :class:`~repro.engine.admission.QueryShed` outcomes)
+  and ``memory-pressure`` trims every engine cache to one entry
+  (forcing evictions) — see :meth:`FaultInjector.parent_faults`.
 * :class:`SupervisorPolicy` — the retry/backoff knobs the supervisor
   in :func:`repro.engine.parallel.run_sharded` obeys.
 * :class:`SupervisorReport` — what actually happened to one query's
@@ -33,8 +38,17 @@ import os
 import time
 from dataclasses import dataclass, field
 
-#: fault kinds the injector understands
-FAULT_KINDS = ("crash", "exception", "delay")
+#: fault kinds that fire inside worker processes
+WORKER_FAULT_KINDS = ("crash", "exception", "delay")
+
+#: fault kinds that fire in the parent, at the engine's admission
+#: boundary: "overload" injects phantom in-flight load so admission
+#: control sheds real queries, "memory-pressure" trims every engine
+#: cache to one entry so eviction paths run on demand
+PARENT_FAULT_KINDS = ("overload", "memory-pressure")
+
+#: every fault kind the injector understands
+FAULT_KINDS = WORKER_FAULT_KINDS + PARENT_FAULT_KINDS
 
 #: exit status a crash fault dies with (distinguishable from a clean 0
 #: and from the generic task-error exit 1 in worker logs)
@@ -71,9 +85,14 @@ class FaultSpec:
     of a matching shard it hits, so ``times=1`` fails the first attempt
     and lets the supervisor's retry succeed, while ``times`` larger
     than the retry budget forces the degrade-to-serial path.
+
+    For the parent-side kinds (:data:`PARENT_FAULT_KINDS`) ``worker``
+    is ignored — there is no worker yet at admission time — and
+    ``times`` counts the *queries* (or batch rounds) the fault fires
+    on.
     """
 
-    kind: str                    # "crash" | "exception" | "delay"
+    kind: str                    # one of FAULT_KINDS
     worker: int | None = None    # shard index to hit; None = every shard
     query: int | None = None     # engine query id to hit; None = every query
     delay_seconds: float = 0.05  # sleep length for "delay" faults
@@ -159,6 +178,9 @@ class FaultInjector:
 
     def __init__(self, faults: "list[FaultSpec] | tuple[FaultSpec, ...]" = ()):
         self.faults: list[FaultSpec] = list(faults)
+        #: parent-side fire counts per spec index, so ``times`` bounds
+        #: how many queries an overload/memory-pressure fault hits
+        self._parent_hits: dict[int, int] = {}
 
     def add(self, spec: FaultSpec) -> "FaultInjector":
         """Schedule another fault; returns self for chaining."""
@@ -168,11 +190,19 @@ class FaultInjector:
     def matching(
         self, worker: int, query: int | None, attempt: int
     ) -> list[FaultSpec]:
-        """The faults that would fire for this shard dispatch."""
-        return [f for f in self.faults if f.matches(worker, query, attempt)]
+        """The worker faults that would fire for this shard dispatch."""
+        return [
+            f for f in self.faults
+            if f.kind in WORKER_FAULT_KINDS
+            and f.matches(worker, query, attempt)
+        ]
 
     def fire(self, worker: int, query: int | None, attempt: int) -> None:
-        """Trigger every matching fault; called inside the worker."""
+        """Trigger every matching worker fault; called inside the worker.
+
+        Parent-side kinds never fire here — the engine consults them
+        via :meth:`parent_faults` before dispatching any worker.
+        """
         for spec in self.matching(worker, query, attempt):
             if spec.kind == "delay":
                 time.sleep(spec.delay_seconds)
@@ -183,6 +213,31 @@ class FaultInjector:
                 )
             elif spec.kind == "crash":
                 os._exit(CRASH_EXIT_CODE)
+
+    def parent_faults(self, query: int | None) -> list[FaultSpec]:
+        """Consume the parent-side faults firing for this query.
+
+        Called by the engine (in the parent, before admission) once per
+        query or batch round.  Each matching spec's fire count is
+        consumed, so ``times=2`` hits exactly two rounds.  ``worker``
+        restrictions do not apply — no worker exists yet.
+        """
+        fired = []
+        for index, spec in enumerate(self.faults):
+            if spec.kind not in PARENT_FAULT_KINDS:
+                continue
+            hits = self._parent_hits.get(index, 0)
+            if hits >= spec.times:
+                continue
+            if (
+                spec.query is not None
+                and query is not None
+                and spec.query != query
+            ):
+                continue
+            self._parent_hits[index] = hits + 1
+            fired.append(spec)
+        return fired
 
 
 @dataclass

@@ -29,10 +29,11 @@ Supervision (:class:`Supervisor`) wraps the dispatch loop:
 * failed shards are re-dispatched with bounded exponential backoff up
   to :attr:`SupervisorPolicy.max_retries` times — each re-dispatch is
   a fresh fork, so a transient fault does not poison the retry,
-* once retries are exhausted the surviving spans run serially in the
-  parent ("degrade-to-serial"); fault hooks never fire in the parent,
-  so the degraded pass is fault-free by construction and the query
-  still returns a bit-identical result,
+* once retries are exhausted — or the tier's circuit breaker
+  (:mod:`repro.engine.breaker`) trips mid-query — the surviving spans
+  run serially in the parent ("degrade-to-serial"); fault hooks never
+  fire in the parent, so the degraded pass is fault-free by
+  construction and the query still returns a bit-identical result,
 * an optional absolute deadline is enforced while waiting on workers:
   on expiry every live worker is killed and joined (no orphans) and
   :class:`~repro.engine.faults.DeadlineExceeded` is raised.
@@ -188,10 +189,17 @@ class Supervisor:
         query_id: int | None = None,
         deadline_seconds: float | None = None,
         report: SupervisorReport | None = None,
+        breaker=None,
     ):
         self.policy = policy or SupervisorPolicy()
         self.injector = injector
         self.query_id = query_id
+        #: the executing tier's CircuitBreaker (set by the engine once
+        #: the degradation ladder picks a tier).  Shard failures feed
+        #: it, and a breaker that trips mid-query cancels the remaining
+        #: retries — the ladder will route the *next* query lower
+        #: instead of this one burning backoff on a dead tier.
+        self.breaker = breaker
         self.report = report or SupervisorReport()
         self.deadline_seconds = deadline_seconds
         self.started_at = time.monotonic()
@@ -261,7 +269,12 @@ class Supervisor:
             if not failed:
                 break
             self.report.worker_failures += len(failed)
-            if attempt >= self.policy.max_retries:
+            if self.breaker is not None:
+                for _ in failed:
+                    self.breaker.record_failure()
+            if attempt >= self.policy.max_retries or (
+                self.breaker is not None and not self.breaker.allow()
+            ):
                 self._degrade(task, ctx, failed, results)
                 break
             self._backoff(attempt, len(failed))

@@ -30,7 +30,9 @@ EOF — sibling forks inherit copies of the other pipes' fds, which would
 defeat EOF detection) alongside its result pipe, any buffered results
 are drained first, the worker is respawned (and lazily re-attached),
 and its in-flight spans are re-dispatched with bounded backoff.  Once a
-span exhausts :attr:`SupervisorPolicy.max_retries` it degrades to a
+span exhausts :attr:`SupervisorPolicy.max_retries` — or the pool
+tier's circuit breaker (:mod:`repro.engine.breaker`) trips, cancelling
+further retries at a tier the ladder has given up on — it degrades to a
 serial in-parent run over the task's ``local_context`` — fault hooks
 never fire in the parent, so the degraded pass is fault-free by
 construction.  A deadline overrun hard-kills the busy workers (then
@@ -566,6 +568,8 @@ class WorkerPool:
             return
         task.failures += 1
         supervisor.report.worker_failures += 1
+        if supervisor.breaker is not None:
+            supervisor.breaker.record_failure()
         supervisor.report.note(
             f"pool worker {worker.slot} failed span {task_id}: {msg[2]}"
         )
@@ -607,6 +611,8 @@ class WorkerPool:
         for task in failed:
             task.failures += 1
             supervisor.report.worker_failures += 1
+            if supervisor.breaker is not None:
+                supervisor.breaker.record_failure()
         if failed:
             supervisor.report.note(
                 f"re-dispatching {len(failed)} span(s) lost with "
@@ -622,13 +628,20 @@ class WorkerPool:
         degraded: list,
     ) -> None:
         retry: list[SpanTask] = []
+        breaker_open = (
+            supervisor.breaker is not None
+            and not supervisor.breaker.allow()
+        )
         for task in failed:
-            if task.attempt >= self.policy.max_retries:
+            if task.attempt >= self.policy.max_retries or breaker_open:
                 task.degraded = True
                 degraded.append(task)
                 supervisor.report.note(
                     f"span {task.task_id} exhausted retries; "
                     "will degrade to serial"
+                    if not breaker_open else
+                    f"span {task.task_id} abandoned: the pool tier's "
+                    "circuit breaker tripped; will degrade to serial"
                 )
             else:
                 retry.append(task)

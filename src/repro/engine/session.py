@@ -21,14 +21,25 @@ on every call; the engine ingests Ω once and amortises that work:
 * **process parallelism** — ``workers=N`` shards the candidate axis
   across forked worker processes (see :mod:`repro.engine.parallel`),
   bit-identical to serial execution,
-* **observability** — hit/miss counters (:class:`EngineStats`) and a
+* **observability** — hit/miss counters (:class:`EngineStats`), a
   per-query JSONL metrics log with per-phase
-  ``pruning_seconds``/``validation_seconds``.
+  ``pruning_seconds``/``validation_seconds``, and a :meth:`health`
+  snapshot suitable for a readiness probe,
+* **overload resilience** — an optional admission budget
+  (``max_inflight``/``max_queue_depth``/``shed_policy``,
+  :mod:`repro.engine.admission`) sheds excess queries with typed
+  :class:`~repro.engine.admission.QueryShed` outcomes instead of
+  letting latency grow without bound; a circuit-broken degradation
+  ladder (:mod:`repro.engine.breaker`) walks repeated tier failures
+  down pool → fork → serial and self-heals; every cache is a bounded
+  LRU (:mod:`repro.engine.cache`) with eviction counters, and the
+  in-memory metrics record list is capped (``records_dropped``).
 
-Caches are unbounded: a serving session is expected to see a small,
-recurring set of ``(PF, τ)`` pairs and candidate sets.  Results are
-bit-identical to fresh ``select_location`` calls for every algorithm
-(property-tested in ``tests/test_engine.py``).
+Every cache stays correct at any budget (a miss only recomputes), the
+ladder is lossless (lower tiers compute the same answer), and results
+are bit-identical to fresh ``select_location`` calls for every
+algorithm (property-tested in ``tests/test_engine.py`` and, under
+fault/overload schedules, ``tests/test_overload.py``).
 """
 
 from __future__ import annotations
@@ -48,6 +59,13 @@ from repro.core.object_table import ObjectTable, fleet_to_columnar
 from repro.core.pinocchio import Pinocchio
 from repro.core.pinocchio_vo import PinocchioVO
 from repro.core.result import Instrumentation, LSResult, full_table_result
+from repro.engine.admission import (
+    AdmissionController,
+    QueryShed,
+    QueryShedError,
+)
+from repro.engine.breaker import BreakerConfig, DegradationLadder
+from repro.engine.cache import CacheBudget, LRUCache
 from repro.engine.faults import (
     DeadlineExceeded,
     FaultInjector,
@@ -98,6 +116,19 @@ class EngineStats:
     spans_dispatched: int = 0
     #: pool workers killed and replaced (crashes and deadline kills)
     pool_respawns: int = 0
+    #: queries refused by admission control (typed ``QueryShed``
+    #: outcomes — each also emitted a JSONL record)
+    queries_shed: int = 0
+    #: circuit-breaker trips across the degradation ladder's tiers
+    breaker_trips: int = 0
+    #: in-memory metrics records dropped by the ``max_records`` cap
+    #: (the JSONL file is append-only and unaffected)
+    records_dropped: int = 0
+    #: LRU evictions per cache (mirrored from the cache objects)
+    table_evictions: int = 0
+    candidate_evictions: int = 0
+    rtree_evictions: int = 0
+    pruning_evictions: int = 0
     #: admission size of every ``query_batch`` call, in call order
     batch_sizes: list[int] = field(default_factory=list)
 
@@ -150,6 +181,20 @@ def _pf_key(pf: ProbabilityFunction) -> tuple:
     return ("id", id(pf))
 
 
+def _pruning_nbytes(value: tuple) -> int:
+    """Bytes a cached pruning output holds (minInf + verification sets).
+
+    Prices entries for the pruning cache's byte budget; the counter
+    snapshot is a fixed-size dataclass and is ignored.
+    """
+    min_inf, vs_indexes, _snapshot = value
+    total = int(min_inf.nbytes)
+    for vs in vs_indexes:
+        if vs is not None:
+            total += int(vs.nbytes)
+    return total
+
+
 @dataclass
 class QueryRequest:
     """One query of a :meth:`QueryEngine.query_batch` admission round.
@@ -163,6 +208,8 @@ class QueryRequest:
     tau: float = 0.7
     algorithm: str = "PIN-VO"
     algorithm_kwargs: dict = field(default_factory=dict)
+    #: admission priority (higher wins under the "by-priority" policy)
+    priority: int = 0
 
 
 @dataclass
@@ -211,9 +258,19 @@ class QueryEngine:
         default_pf: ProbabilityFunction | None = None,
         fault_injector: FaultInjector | None = None,
         supervisor_policy: SupervisorPolicy | None = None,
+        max_inflight: int | None = None,
+        max_queue_depth: int | None = None,
+        shed_policy: str = "reject",
+        breaker: BreakerConfig | None = None,
+        cache_budget: CacheBudget | None = None,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if max_inflight is None and max_queue_depth is not None:
+            raise ValueError(
+                "max_queue_depth requires max_inflight (admission "
+                "control is off without an in-flight budget)"
+            )
         started = time.perf_counter()
         self.objects = list(objects)
         if not self.objects:
@@ -239,13 +296,37 @@ class QueryEngine:
         #: in-memory copy of every JSONL metrics record, in query order
         self.metrics_log: list[dict] = []
         self._default_pf = default_pf
-        self._tables: dict[tuple, ObjectTable] = {}
-        self._cand_arrays: dict[bytes, np.ndarray] = {}
-        self._rtrees: dict[tuple, RTree] = {}
+        #: entry/byte budgets for every cache and the record log
+        self.cache_budget = cache_budget or CacheBudget()
+        budget = self.cache_budget
+        self._tables: LRUCache = LRUCache(
+            "tables", max_entries=budget.max_tables
+        )
+        self._cand_arrays: LRUCache = LRUCache(
+            "candidate_sets", max_entries=budget.max_candidate_sets
+        )
+        self._rtrees: LRUCache = LRUCache(
+            "rtrees", max_entries=budget.max_rtrees
+        )
         #: (pf, tau, candidates, use_pruning) -> (minInf, VS, counter snapshot)
-        self._prunings: dict[
-            tuple, tuple[np.ndarray, list[np.ndarray], Instrumentation]
-        ] = {}
+        self._prunings: LRUCache = LRUCache(
+            "prunings",
+            max_entries=budget.max_prunings,
+            max_bytes=budget.max_pruning_bytes,
+            sizeof=_pruning_nbytes,
+        )
+        #: admission control; ``None`` (the default) admits everything
+        self.admission = (
+            AdmissionController(
+                max_inflight,
+                max_queue_depth=max_queue_depth,
+                policy=shed_policy,
+            )
+            if max_inflight is not None else None
+        )
+        #: the circuit-broken pool → fork → serial degradation ladder
+        self.ladder = DegradationLadder(breaker or BreakerConfig())
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Caches
@@ -294,12 +375,71 @@ class QueryEngine:
         warm PIN-VO traffic actually exercises, so operators need to
         see it grow (regression-tested in tests/test_engine.py).
         """
+        self._sync_cache_stats()
         return {
             "tables": len(self._tables),
             "candidate_sets": len(self._cand_arrays),
             "rtrees": len(self._rtrees),
             "prunings": len(self._prunings),
             **self.stats.as_dict(),
+        }
+
+    def _caches(self) -> tuple[LRUCache, ...]:
+        return (self._tables, self._cand_arrays, self._rtrees, self._prunings)
+
+    def _sync_cache_stats(self) -> None:
+        """Mirror each cache's lifetime eviction count into the stats."""
+        self.stats.table_evictions = self._tables.evictions
+        self.stats.candidate_evictions = self._cand_arrays.evictions
+        self.stats.rtree_evictions = self._rtrees.evictions
+        self.stats.pruning_evictions = self._prunings.evictions
+
+    def _total_evictions(self) -> int:
+        return sum(cache.evictions for cache in self._caches())
+
+    def _shrink_caches(self) -> None:
+        """Memory-pressure response: trim every cache to one entry."""
+        for cache in self._caches():
+            cache.trim(max_entries=1)
+        self._sync_cache_stats()
+
+    def health(self) -> dict:
+        """A readiness-probe snapshot of the serving session.
+
+        Reports the tier the *next* query would execute on (given the
+        engine's configuration and current breaker states), every
+        breaker's state, admission load, cache occupancy, and the
+        record-log fill — everything an operator needs to see overload
+        and degradation without parsing the JSONL stream.
+        """
+        candidates = self._tier_candidates()
+        tier = self.ladder.select(candidates)
+        if self._closed:
+            status = "closed"
+        elif tier != candidates[0]:
+            status = "degraded"
+        else:
+            status = "ok"
+        self._sync_cache_stats()
+        return {
+            "status": status,
+            "tier": tier,
+            "breakers": self.ladder.snapshot(),
+            "admission": (
+                self.admission.snapshot()
+                if self.admission is not None else None
+            ),
+            "caches": {
+                cache.name: cache.occupancy() for cache in self._caches()
+            },
+            "records": {
+                "kept": len(self.metrics_log),
+                "dropped": self.stats.records_dropped,
+                "max_records": self.cache_budget.max_records,
+            },
+            "queries": self.stats.queries,
+            "queries_shed": self.stats.queries_shed,
+            "breaker_trips": self.ladder.trips,
         }
 
     # ------------------------------------------------------------------
@@ -315,16 +455,30 @@ class QueryEngine:
         return self._pool
 
     def close(self) -> None:
-        """Shut down the worker pool: workers stopped and joined, every
-        shared-memory segment unlinked.  Idempotent; the engine stays
-        usable — the next pooled query simply starts a fresh pool.
-        A ``weakref.finalize`` hook inside the pool performs the same
-        teardown at garbage collection / interpreter exit, so segments
-        never outlive the process even without an explicit ``close``.
+        """Shut down the session: workers stopped and joined, every
+        shared-memory segment unlinked, and the engine marked closed —
+        ``query``/``query_batch`` raise :class:`RuntimeError` afterwards
+        (a closed engine silently serving would hide lifecycle bugs).
+        Idempotent: closing twice is a no-op.  A ``weakref.finalize``
+        hook inside the pool performs the same segment teardown at
+        garbage collection / interpreter exit, so segments never
+        outlive the process even without an explicit ``close``.
         """
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "QueryEngine is closed; build a new engine to serve "
+                "further queries"
+            )
 
     def __enter__(self) -> "QueryEngine":
         return self
@@ -412,6 +566,7 @@ class QueryEngine:
         algorithm: str = "PIN-VO",
         workers: int | None = None,
         deadline_seconds: float | None = None,
+        priority: int = 0,
         **algorithm_kwargs,
     ) -> LSResult:
         """Answer one PRIME-LS query against the ingested fleet.
@@ -428,9 +583,12 @@ class QueryEngine:
         raises is retried with bounded backoff (per the engine's
         :class:`~repro.engine.faults.SupervisorPolicy`) and, once
         retries are exhausted, re-run serially in the parent, so the
-        query always returns the bit-identical answer.  What happened
-        is recorded in the result's
-        :class:`~repro.core.result.Instrumentation`
+        query always returns the bit-identical answer.  Across queries,
+        each tier's circuit breaker remembers those failures: a tripped
+        pool breaker routes the next queries to fork-per-query sharding
+        (and a tripped fork breaker to serial) until the tier's
+        recovery window admits a probe.  What happened is recorded in
+        the result's :class:`~repro.core.result.Instrumentation`
         (``worker_failures``/``retries``/``degraded``), the engine's
         :class:`EngineStats`, and the JSONL metrics.
 
@@ -440,7 +598,49 @@ class QueryEngine:
         :class:`~repro.engine.faults.DeadlineExceeded` is raised.  A
         deadline overrun wins over retry/degradation: the engine never
         trades the latency bound for an answer.
+
+        On an engine with admission control (``max_inflight`` set) the
+        query first claims an admission slot; when the budget is full
+        it is shed — a JSONL record is written and
+        :class:`~repro.engine.admission.QueryShedError` raised, carrying
+        the typed :class:`~repro.engine.admission.QueryShed` outcome.
+        ``priority`` only matters to batch admission under the
+        ``by-priority`` policy (single queries are admitted FIFO) but
+        is recorded on the shed outcome either way.
         """
+        self._check_open()
+        candidates = list(candidates)
+        phantom = self._apply_parent_faults(self.stats.queries)
+        if self.admission is None:
+            return self._query_one(
+                candidates, pf, tau, algorithm, workers,
+                deadline_seconds, algorithm_kwargs,
+            )
+        if not self.admission.try_acquire(phantom=phantom):
+            shed = self._shed(
+                "queue-full", priority=priority, algorithm=algorithm,
+                tau=tau, m=len(candidates),
+            )
+            raise QueryShedError(shed)
+        try:
+            return self._query_one(
+                candidates, pf, tau, algorithm, workers,
+                deadline_seconds, algorithm_kwargs,
+            )
+        finally:
+            self.admission.release()
+
+    def _query_one(
+        self,
+        candidates: list[Candidate],
+        pf: ProbabilityFunction | None,
+        tau: float,
+        algorithm: str,
+        workers: int | None,
+        deadline_seconds: float | None,
+        algorithm_kwargs: dict,
+    ) -> LSResult:
+        """One admitted query: validate, execute on a tier, account."""
         started = time.perf_counter()
         if pf is None:
             if self._default_pf is None:
@@ -452,7 +652,6 @@ class QueryEngine:
             raise ValueError(
                 f"deadline_seconds must be > 0, got {deadline_seconds}"
             )
-        candidates = list(candidates)
         if not candidates:
             raise ValueError("need at least one candidate location")
         workers = self.workers if workers is None else int(workers)
@@ -463,12 +662,15 @@ class QueryEngine:
             query_id=self.stats.queries,
             deadline_seconds=deadline_seconds,
         )
+        evictions_before = self._total_evictions()
         try:
-            result, workers_used, pooled = self._execute(
+            result, workers_used, tier = self._execute(
                 candidates, pf, tau, algorithm, workers, supervisor,
                 algorithm_kwargs,
             )
         except DeadlineExceeded:
+            # a deadline overrun is a latency-budget decision, not a
+            # tier fault — it does not feed the tier's breaker
             self._record_failure(
                 pf, tau, len(candidates), algorithm, supervisor, started
             )
@@ -476,19 +678,95 @@ class QueryEngine:
         result.elapsed_seconds = time.perf_counter() - started
 
         report = supervisor.report
+        # Shard failures already fed the tier's breaker one-by-one
+        # inside the supervisor; recording them again here would double
+        # count.  The query level only contributes the *success* signal
+        # that resets the consecutive-failure streak / closes a probe.
+        if report.worker_failures == 0 and not report.degraded:
+            self.ladder.record(tier, ok=True)
+        self.stats.breaker_trips = self.ladder.trips
         inst = result.instrumentation
         inst.worker_failures += report.worker_failures
         inst.retries += report.retries
         inst.degraded += int(report.degraded)
         inst.spans_dispatched += report.spans_dispatched
         inst.pool_respawns += report.respawns
+        inst.cache_evictions += self._total_evictions() - evictions_before
         self._fold_report(report)
+        self._sync_cache_stats()
         self.stats.queries += 1
         self._record_metrics(
             result, pf, tau, len(candidates), workers_used,
-            pooled=pooled,
+            tier=tier, pooled=tier == "pool",
         )
         return result
+
+    def _tier_candidates(self, workers: int | None = None) -> tuple[str, ...]:
+        """The tiers the engine *could* execute on, fastest first."""
+        workers = self.workers if workers is None else int(workers)
+        tiers: list[str] = []
+        if workers > 1 and fork_available():
+            if self.use_pool:
+                tiers.append("pool")
+            tiers.append("fork")
+        tiers.append("serial")
+        return tuple(tiers)
+
+    def _apply_parent_faults(self, query_id: int | None) -> int:
+        """Consume parent-side faults; returns phantom admission load."""
+        phantom = 0
+        if self.fault_injector is None:
+            return phantom
+        for spec in self.fault_injector.parent_faults(query_id):
+            if spec.kind == "overload":
+                phantom = (
+                    self.admission.capacity
+                    if self.admission is not None else 0
+                )
+            elif spec.kind == "memory-pressure":
+                self._shrink_caches()
+        return phantom
+
+    def _shed(
+        self,
+        reason: str,
+        *,
+        priority: int,
+        algorithm: str,
+        tau: float,
+        m: int,
+        batch_size: int = 1,
+    ) -> QueryShed:
+        """Account one shed query: id, counters, report, JSONL record."""
+        query_id = self.stats.queries
+        self.stats.queries += 1
+        self.stats.queries_shed += 1
+        shed = QueryShed(
+            query_id=query_id,
+            reason=reason,
+            policy=self.admission.policy,
+            priority=priority,
+            algorithm=algorithm,
+            tau=float(tau),
+            candidates=m,
+        )
+        self.admission.report.note_shed(shed)
+        self._append_record({
+            "query": query_id,
+            "algorithm": algorithm,
+            "tau": float(tau),
+            "pf": None,
+            "candidates": m,
+            "elapsed_seconds": 0.0,
+            "shed": True,
+            "shed_reason": reason,
+            "shed_policy": self.admission.policy,
+            "priority": priority,
+            "batch_size": batch_size,
+            "best_candidate": None,
+            "best_influence": None,
+        })
+        return shed
 
     def _fold_report(self, report) -> None:
         """Accumulate one supervision report into the session stats."""
@@ -507,13 +785,16 @@ class QueryEngine:
         workers: int,
         supervisor: Supervisor,
         algorithm_kwargs: dict,
-    ) -> tuple[LSResult, int, bool]:
+    ) -> tuple[LSResult, int, str]:
         """Resolve one query through the caches and (maybe) workers.
 
-        Returns ``(result, workers_used, pooled)``.  When the engine
-        was built with ``pool=True``, sharded spans go to the
-        persistent worker pool; a PF that cannot be pickled falls back
-        to the fork path (which inherits it copy-on-write).
+        Returns ``(result, workers_used, tier)``.  The execution tier
+        is chosen by the degradation ladder: the fastest tier this
+        query *could* use ("pool" needs ``pool=True`` and a picklable
+        PF, "fork" needs ``workers > 1`` and fork support) whose
+        circuit breaker currently admits queries.  The supervisor is
+        wired to that tier's breaker so in-query shard failures feed it
+        and retries stop the moment it trips.
         """
         # Deferred to dodge the repro <-> repro.engine import cycle:
         # the package re-exports QueryEngine from its __init__.
@@ -525,8 +806,16 @@ class QueryEngine:
 
         uses_table = isinstance(solver, (Pinocchio, PinocchioVO))
         table = self.table_for(pf, tau) if uses_table else None
-        parallel = workers > 1 and fork_available()
-        pooled = parallel and self.use_pool and self._poolable(pf)
+        available: list[str] = []
+        if workers > 1 and fork_available():
+            if self.use_pool and self._poolable(pf):
+                available.append("pool")
+            available.append("fork")
+        available.append("serial")
+        tier = self.ladder.select(tuple(available))
+        supervisor.breaker = self.ladder.breakers.get(tier)
+        parallel = tier in ("pool", "fork")
+        pooled = tier == "pool"
 
         if isinstance(solver, PinocchioVO):
             result = self._query_vo(
@@ -535,7 +824,7 @@ class QueryEngine:
                 pooled=pooled, algorithm=algorithm,
                 algorithm_kwargs=algorithm_kwargs,
             )
-            return result, workers if parallel else 1, pooled
+            return result, workers if parallel else 1, tier
 
         kind = None
         if parallel:
@@ -551,18 +840,18 @@ class QueryEngine:
                 solver, kind, table, candidates, cand_xy, pf, tau,
                 workers, supervisor, algorithm, algorithm_kwargs,
             )
-            return result, workers, True
+            return result, workers, "pool"
         if kind is not None:
             task = _pin_shard if kind == "pin" else _naive_shard
             result = self._run_parallel(
                 solver, task, table, candidates, cand_xy, pf, tau,
                 workers, supervisor,
             )
-            return result, workers, False
+            return result, workers, "fork"
         supervisor.check_deadline()
         if table is not None:
             solver.table_factory = lambda _objects, _pf, _tau: table
-        return solver.select(self.objects, candidates, pf, tau), 1, False
+        return solver.select(self.objects, candidates, pf, tau), 1, "serial"
 
     def _query_vo(
         self,
@@ -754,32 +1043,47 @@ class QueryEngine:
         algorithm: str = "PIN-VO",
         workers: int | None = None,
         deadline_seconds: float | None = None,
+        priority: int = 0,
         **algorithm_kwargs,
-    ) -> list[LSResult]:
+    ) -> "list[LSResult | QueryShed]":
         """Answer several queries in one coalesced admission round.
 
         ``requests`` holds :class:`QueryRequest` objects or plain
         candidate sequences (wrapped with the call-level ``pf``/
-        ``tau``/``algorithm`` defaults).  Results come back in request
-        order and are bit-identical to issuing the same ``query`` calls
-        sequentially — including cache effects: requests are planned in
-        order, so a later request repeating an earlier one's PIN-VO
-        pruning key counts as a pruning hit and reuses its output.
+        ``tau``/``algorithm``/``priority`` defaults).  Results come
+        back in request order and are bit-identical to issuing the same
+        ``query`` calls sequentially — including cache effects:
+        requests are planned in order, so a later request repeating an
+        earlier one's PIN-VO pruning key counts as a pruning hit and
+        reuses its output.
+
+        On an engine with admission control the round is bounded: at
+        most ``max_inflight + max_queue_depth`` requests are admitted
+        and the rest are shed per the engine's ``shed_policy``
+        (``reject`` keeps the oldest, ``oldest`` keeps the freshest,
+        ``by-priority`` keeps the highest :attr:`QueryRequest.priority`).
+        A shed request's slot in the returned list holds its typed
+        :class:`~repro.engine.admission.QueryShed` outcome instead of
+        an :class:`~repro.core.result.LSResult`, and a JSONL record is
+        written for it — nothing is dropped silently.
 
         On a pool-enabled engine (``pool=True``) with ``workers > 1``
-        every shardable span of every request is dispatched to the
-        persistent pool in a *single* round, so workers stream spans
-        back-to-back instead of idling between queries; the sequential
-        PIN-VO validations then run in the parent in request order.
-        Otherwise the batch degenerates to a sequential loop of
-        :meth:`query` calls (batching only buys throughput when there
-        is a pool to keep busy).
+        every shardable span of every admitted request is dispatched to
+        the persistent pool in a *single* round, so workers stream
+        spans back-to-back instead of idling between queries; the
+        sequential PIN-VO validations then run in the parent in request
+        order.  A tripped pool breaker routes the round to the
+        sequential tier-selected path instead.  Otherwise the batch
+        degenerates to a sequential loop of per-query execution
+        (batching only buys throughput when there is a pool to keep
+        busy).
 
         ``deadline_seconds`` bounds the *whole batch*: on overrun every
         busy pool worker is killed, respawned and joined, a failure
         record is written for each request that produced no result, and
         :class:`~repro.engine.faults.DeadlineExceeded` is raised.
         """
+        self._check_open()
         reqs: list[QueryRequest] = []
         for entry in requests:
             if isinstance(entry, QueryRequest):
@@ -787,7 +1091,7 @@ class QueryEngine:
             else:
                 reqs.append(QueryRequest(
                     list(entry), pf, tau, algorithm,
-                    dict(algorithm_kwargs),
+                    dict(algorithm_kwargs), priority,
                 ))
         if not reqs:
             raise ValueError("need at least one request in the batch")
@@ -797,18 +1101,52 @@ class QueryEngine:
                 f"deadline_seconds must be > 0, got {deadline_seconds}"
             )
         self.stats.batch_sizes.append(len(reqs))
-        pooled = self.use_pool and workers > 1 and fork_available()
-        if not pooled:
-            return [
-                self.query(
-                    r.candidates, pf=r.pf, tau=r.tau,
-                    algorithm=r.algorithm, workers=workers,
-                    deadline_seconds=deadline_seconds,
-                    **r.algorithm_kwargs,
+
+        phantom = self._apply_parent_faults(None)
+        if self.admission is not None:
+            admitted_idx, shed_pairs = self.admission.admit_batch(
+                [r.priority for r in reqs], phantom=phantom
+            )
+        else:
+            admitted_idx, shed_pairs = list(range(len(reqs))), []
+
+        slots: "list[LSResult | QueryShed | None]" = [None] * len(reqs)
+        try:
+            # Shed first so refused requests consume the lower query
+            # ids — the JSONL stream stays ordered by admission round.
+            for index, reason in shed_pairs:
+                r = reqs[index]
+                slots[index] = self._shed(
+                    reason, priority=r.priority, algorithm=r.algorithm,
+                    tau=r.tau, m=len(r.candidates),
+                    batch_size=len(reqs),
                 )
-                for r in reqs
-            ]
-        return self._query_batch_pooled(reqs, workers, deadline_seconds)
+            admitted = [reqs[i] for i in admitted_idx]
+            if admitted:
+                pool_breaker = self.ladder.breakers["pool"]
+                pooled = (
+                    self.use_pool and workers > 1 and fork_available()
+                    and pool_breaker.allow()
+                )
+                if pooled:
+                    results = self._query_batch_pooled(
+                        admitted, workers, deadline_seconds
+                    )
+                else:
+                    results = [
+                        self._query_one(
+                            list(r.candidates), r.pf, r.tau,
+                            r.algorithm, workers, deadline_seconds,
+                            r.algorithm_kwargs,
+                        )
+                        for r in admitted
+                    ]
+                for i, res in zip(admitted_idx, results):
+                    slots[i] = res
+        finally:
+            if self.admission is not None:
+                self.admission.release(len(admitted_idx))
+        return slots
 
     def _query_batch_pooled(
         self,
@@ -826,8 +1164,10 @@ class QueryEngine:
             injector=self.fault_injector,
             query_id=base_id,
             deadline_seconds=deadline_seconds,
+            breaker=self.ladder.breakers["pool"],
         )
         pool = self._pool_for(workers)
+        evictions_mark = self._total_evictions()
 
         # Plan every request in order, resolving caches exactly as the
         # sequential path would, and collect all dispatchable spans.
@@ -919,6 +1259,13 @@ class QueryEngine:
             self._batch_failures(plans, supervisor, started, len(reqs))
             raise
         self._fold_report(supervisor.report)
+        if all_tasks:
+            report = supervisor.report
+            # failures already fed the pool breaker per task; only the
+            # clean-round success signal is recorded here
+            if report.worker_failures == 0 and not report.degraded:
+                self.ladder.record("pool", ok=True)
+            self.stats.breaker_trips = self.ladder.trips
 
         # Assemble results in request order (sequential VO validations).
         out: list[LSResult] = []
@@ -942,10 +1289,15 @@ class QueryEngine:
             # a respawned worker serves the whole round, so every batch
             # member reports the round's respawn count
             inst.pool_respawns += supervisor.report.respawns
+            evictions_now = self._total_evictions()
+            inst.cache_evictions += evictions_now - evictions_mark
+            evictions_mark = evictions_now
+            self._sync_cache_stats()
             self.stats.queries += 1
             self._record_metrics(
                 result, plan.pf, plan.tau, len(plan.candidates),
-                workers, pooled=True, batch_size=len(reqs),
+                workers, tier="pool" if plan.tasks else "serial",
+                pooled=True, batch_size=len(reqs),
             )
             out.append(result)
         return out
@@ -1000,11 +1352,26 @@ class QueryEngine:
         else:
             # "cached": memoised before the batch, or stored moments
             # ago by the earlier batch member that owned the dispatch
-            base_min_inf, vs_indexes, snapshot = self._prunings[
-                plan.pruning_key
-            ]
-            min_inf = base_min_inf.copy()
-            counters.merge(snapshot)
+            cached = self._prunings.get(plan.pruning_key)
+            if cached is None:
+                # a tiny pruning budget evicted the entry between the
+                # owning dispatch and this read — recompute serially in
+                # the parent (correctness never depends on residency)
+                prune_counters = Instrumentation()
+                supervisor.check_deadline()
+                with prune_counters.phase("pruning"):
+                    min_inf, vs_indexes = plan.solver.pruning_phase(
+                        plan.table, plan.cand_xy, prune_counters
+                    )
+                self._prunings[plan.pruning_key] = (
+                    min_inf.copy(), vs_indexes,
+                    _counts_only(prune_counters),
+                )
+                counters.merge(prune_counters)
+            else:
+                base_min_inf, vs_indexes, snapshot = cached
+                min_inf = base_min_inf.copy()
+                counters.merge(snapshot)
         supervisor.check_deadline()
         return plan.solver.validation_phase(
             plan.table, plan.candidates, plan.cand_xy, plan.pf,
@@ -1060,6 +1427,7 @@ class QueryEngine:
         m: int,
         workers_used: int,
         *,
+        tier: str = "serial",
         pooled: bool = False,
         batch_size: int = 1,
     ) -> None:
@@ -1071,6 +1439,8 @@ class QueryEngine:
             "pf": repr(pf),
             "candidates": m,
             "workers": workers_used,
+            "tier": tier,
+            "shed": False,
             "elapsed_seconds": result.elapsed_seconds,
             "pruning_seconds": inst.pruning_seconds,
             "validation_seconds": inst.validation_seconds,
@@ -1094,6 +1464,7 @@ class QueryEngine:
             "batch_size": batch_size,
             "spans_dispatched": inst.spans_dispatched,
             "pool_respawns": inst.pool_respawns,
+            "cache_evictions": inst.cache_evictions,
             "best_candidate": result.best_candidate.candidate_id,
             "best_influence": result.best_influence,
         }
@@ -1144,6 +1515,11 @@ class QueryEngine:
 
     def _append_record(self, record: dict) -> None:
         self.metrics_log.append(record)
+        # The in-memory copy is bounded (oldest records dropped); the
+        # JSONL file below stays append-only and is never truncated.
+        while len(self.metrics_log) > self.cache_budget.max_records:
+            del self.metrics_log[0]
+            self.stats.records_dropped += 1
         if self.metrics_path is not None:
             self.metrics_path.parent.mkdir(parents=True, exist_ok=True)
             with open(self.metrics_path, "a") as f:

@@ -54,6 +54,30 @@ class TestCLI:
         assert main(["serve-bench", "--deadline", "0"]) == 2
         assert "--deadline" in capsys.readouterr().err
 
+    def test_serve_bench_rejects_non_positive_max_inflight(self, capsys):
+        assert main(["serve-bench", "--max-inflight", "0"]) == 2
+        assert "--max-inflight" in capsys.readouterr().err
+
+    def test_serve_bench_rejects_unknown_shed_policy(self, capsys):
+        assert main(
+            ["serve-bench", "--max-inflight", "2",
+             "--shed-policy", "bogus"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--shed-policy" in err and "by-priority" in err
+
+    def test_shed_policy_requires_max_inflight(self, capsys):
+        assert main(["serve-bench", "--shed-policy", "oldest"]) == 2
+        assert "--max-inflight" in capsys.readouterr().err
+
+    def test_serve_bench_rejects_non_positive_breaker(self, capsys):
+        assert main(["serve-bench", "--breaker", "0"]) == 2
+        assert "--breaker" in capsys.readouterr().err
+
+    def test_max_inflight_rejected_outside_serve_bench(self, capsys):
+        assert main(["demo", "--max-inflight", "2"]) == 2
+        assert "--max-inflight" in capsys.readouterr().err
+
     def test_experiment_csv_export(self, capsys, tmp_path, monkeypatch):
         import dataclasses
 
@@ -92,6 +116,25 @@ class TestCLI:
         header = out.read_text().splitlines()[0]
         assert "cold_ms" in header and "warm_ms" in header
         assert "supervision" in stdout
+        # the shed/degradation summary is printed even when admission
+        # control is off, so dashboards always have the line to grep
+        assert "overload: 0 queries shed" in stdout
+        assert "final tier" in stdout
+
+    def test_serve_bench_overload_summary_reports_sheds(self, capsys):
+        # queries 0-2 are the unmeasured priming pass; the injected
+        # overload faults hit measured queries 3 and 4, which the
+        # admission controller (capacity saturated by phantom load)
+        # then sheds
+        assert main(
+            ["serve-bench", "--queries", "4", "--workers", "0",
+             "--max-inflight", "1",
+             "--inject-fault", "overload:*:3",
+             "--inject-fault", "overload:*:4"]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "overload: 2 queries shed" in stdout
+        assert "(policy reject, max-inflight 1)" in stdout
 
     def test_list(self, capsys):
         assert main(["list"]) == 0

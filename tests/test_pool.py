@@ -189,14 +189,13 @@ class TestLifecycle:
         engine.close()
         assert pool_segments() == []
         assert_no_orphans()
-        # close() is idempotent and the engine stays usable.
+        # close() is idempotent, and a closed engine refuses queries
+        # instead of silently serving them (see tests/test_overload.py
+        # for the full lifecycle contract).
         engine.close()
-        got = engine.query(candidates, pf=pf, tau=0.7, algorithm="PIN")
-        want = select_location(
-            world, candidates, pf=pf, tau=0.7, algorithm="PIN"
-        )
-        assert_same_result(got, want, counters=True)
-        engine.close()
+        assert engine.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.query(candidates, pf=pf, tau=0.7, algorithm="PIN")
         assert pool_segments() == []
         assert_no_orphans()
 
