@@ -11,7 +11,7 @@ test:            ## tier-1 test suite
 bench:           ## paper-table benchmarks (archive under results/)
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
-bench-record:    ## serving scenarios -> BENCH_4.json + results/engine_{pool_vs_fork,overload}.txt
+bench-record:    ## serving scenarios -> BENCH_{4,5}.json + results/engine_{pool_vs_fork,overload,observability}.txt
 	$(PY) benchmarks/record_bench.py
 
 report:          ## regenerate REPORT.md (live claim audit)

@@ -1,4 +1,4 @@
-"""Machine-readable serving-performance trajectory: ``BENCH_4.json``.
+"""Machine-readable serving-performance trajectory: ``BENCH_4/5.json``.
 
 Runs the six serving scenarios over one Gowalla-like fleet and a
 distinct 24-candidate set per query (so warm PIN-VO traffic really
@@ -19,19 +19,24 @@ dispatches work instead of replaying the pruning cache):
   typed outcomes and the *completed* queries must keep their latency —
   p99 within 2× of the unloaded warm-serial p99.
 
+A seventh scenario measures the *observability tax*: the warm-pool
+workload untraced vs fully traced (``trace_path=`` span export plus a
+live metrics endpoint), recorded separately as ``BENCH_5.json``.
+
 Writes per-scenario p50/p95/p99 latency and throughput to
 ``BENCH_4.json`` at the repo root (the machine-readable artifact
 downstream tooling tracks across PRs), the human-readable comparison
-table to ``results/engine_pool_vs_fork.txt``, and the overload summary
-to ``results/engine_overload.txt``.  Run it via ``make bench-record``
-or::
+table to ``results/engine_pool_vs_fork.txt``, the overload summary
+to ``results/engine_overload.txt``, and the tracing-overhead summary
+to ``results/engine_observability.txt``.  Run it via
+``make bench-record`` or::
 
     PYTHONPATH=src python benchmarks/record_bench.py
 
 The acceptance ratios — pool ≥ 1.5× faster than fork at p50, batched
-admission out-throughputing sequential pool queries, and the overload
-p99 bound with a non-empty shed count — are checked here and reported
-in the artifacts.
+admission out-throughputing sequential pool queries, the overload
+p99 bound with a non-empty shed count, and traced pool p50 within
+1.05× of untraced — are checked here and reported in the artifacts.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -151,6 +157,68 @@ def run_overload_scenario(
         }
     finally:
         engine.close()
+
+
+def run_observability_scenario(
+    n_queries: int = 12,
+    workers: int = 4,
+    algorithm: str = "PIN-VO",
+    seed: int = 11,
+    rounds: int = 3,
+) -> dict:
+    """Warm-pool latency untraced vs fully traced: the observability tax.
+
+    Runs the pool scenario ``rounds`` times per arm — untraced, then
+    traced with span export to a JSONL file *and* a live metrics
+    endpoint — alternating arms so machine drift hits both equally,
+    and keeps each arm's best (lowest) p50.  Returns the
+    ``BENCH_5.json`` payload; the acceptance ratio is
+    ``traced_p50 / untraced_p50 <= 1.05``.
+    """
+    common = dict(
+        n_queries=n_queries,
+        workers=workers,
+        algorithm=algorithm,
+        seed=seed,
+        distinct_candidates=True,
+        pool=True,
+    )
+    untraced_runs, traced_runs = [], []
+    traces_exported = 0
+    with tempfile.TemporaryDirectory(prefix="pinls_bench5_") as tmp:
+        for i in range(rounds):
+            untraced_runs.append(run_serve_bench(**common))
+            traced = run_serve_bench(
+                trace_path=str(Path(tmp) / f"traces_{i}.jsonl"),
+                metrics_port=0,
+                **common,
+            )
+            traces_exported = traced.traces_exported
+            traced_runs.append(traced)
+
+    def best(runs):
+        stats = [latency_stats(r.warm_ms) for r in runs]
+        return min(stats, key=lambda s: s["p50_ms"])
+
+    untraced, traced = best(untraced_runs), best(traced_runs)
+    return {
+        "bench": "observability",
+        "workload": {
+            "n_queries": n_queries,
+            "workers": workers,
+            "algorithm": algorithm,
+            "seed": seed,
+            "rounds": rounds,
+            "pool": True,
+        },
+        "scenarios": {"untraced": untraced, "traced": traced},
+        "traces_exported_per_run": traces_exported,
+        "comparisons": {
+            "traced_vs_untraced_p50": round(
+                traced["p50_ms"] / untraced["p50_ms"], 3
+            ),
+        },
+    }
 
 
 def run_scenarios(
@@ -296,6 +364,34 @@ def render_overload(payload: dict) -> str:
     ])
 
 
+def render_observability(payload: dict) -> str:
+    """The tracing-overhead summary for ``results/engine_observability.txt``."""
+    s = payload["scenarios"]
+    ratio = payload["comparisons"]["traced_vs_untraced_p50"]
+    w = payload["workload"]
+    table = TextTable(["arm", "p50 ms", "p95 ms", "mean ms", "qps"])
+    for name in ("untraced", "traced"):
+        table.add_row(
+            [name, s[name]["p50_ms"], s[name]["p95_ms"], s[name]["mean_ms"],
+             s[name]["throughput_qps"]],
+            float_fmt="{:.2f}",
+        )
+    return "\n".join([
+        table.render(
+            title=(
+                f"observability tax: warm pool, {w['algorithm']}, "
+                f"{w['n_queries']} queries, workers={w['workers']}, "
+                f"best of {w['rounds']} rounds per arm"
+            )
+        ),
+        (
+            f"traced arm exports {payload['traces_exported_per_run']} span "
+            f"trees per run and serves a live /metrics endpoint"
+        ),
+        f"traced vs untraced p50: {ratio:.2f}x (target <= 1.05x)",
+    ])
+
+
 def main(argv=None) -> int:
     """Run the scenarios and write both artifacts; 1 on a missed target."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -305,7 +401,11 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument(
         "--out", default=str(ROOT / "BENCH_4.json"),
-        help="where to write the JSON payload",
+        help="where to write the serving-trajectory JSON payload",
+    )
+    parser.add_argument(
+        "--out-observability", default=str(ROOT / "BENCH_5.json"),
+        help="where to write the observability-overhead JSON payload",
     )
     args = parser.parse_args(argv)
 
@@ -333,6 +433,32 @@ def main(argv=None) -> int:
         f"{results_dir / 'engine_overload.txt'}"
     )
 
+    obs_ok = True
+    if fork_available():
+        obs = run_observability_scenario(
+            n_queries=args.queries,
+            workers=args.workers,
+            algorithm=args.algorithm,
+            seed=args.seed,
+        )
+        obs_text = render_observability(obs)
+        print()
+        print(obs_text)
+        Path(args.out_observability).write_text(
+            json.dumps(obs, indent=2) + "\n"
+        )
+        (results_dir / "engine_observability.txt").write_text(
+            obs_text + "\n"
+        )
+        print(f"\nJSON written to {args.out_observability}")
+        print(
+            f"observability summary archived to "
+            f"{results_dir / 'engine_observability.txt'}"
+        )
+        obs_ok = obs["comparisons"]["traced_vs_untraced_p50"] <= 1.05
+        if not obs_ok:
+            print("observability overhead target missed", file=sys.stderr)
+
     c = payload["comparisons"]
     o = payload["scenarios"]["overload"]
     overload_ok = (
@@ -347,6 +473,7 @@ def main(argv=None) -> int:
         c["pool_vs_fork_p50"] >= 1.5
         and c["batch_vs_pool_throughput"] > 1.0
         and overload_ok
+        and obs_ok
     )
     if not ok:
         print("performance targets missed", file=sys.stderr)

@@ -143,6 +143,27 @@ def _cmd_export(registry, name: str, out_csv: str) -> int:
     return 0
 
 
+def _cmd_trace_summary(path: str | None) -> int:
+    """Print the per-phase breakdown of a trace file's span trees."""
+    from repro.engine import TraceReadError, read_trace_file, summarize_traces
+
+    if not path:
+        print(
+            "prime-ls trace-summary: needs a trace file, e.g. "
+            "'prime-ls trace-summary traces.jsonl' (write one with "
+            "'prime-ls serve-bench --trace traces.jsonl')",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        traces = read_trace_file(path)
+    except TraceReadError as exc:
+        print(f"prime-ls trace-summary: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_traces(traces))
+    return 0
+
+
 def _cmd_serve_bench(
     queries: int,
     workers: int,
@@ -154,6 +175,8 @@ def _cmd_serve_bench(
     max_inflight: int | None = None,
     shed_policy: str | None = None,
     breaker: int | None = None,
+    trace: str | None = None,
+    metrics_port: int | None = None,
 ) -> int:
     """Run the warm-vs-cold serving benchmark (see repro.engine.bench)."""
     from repro.engine import SHED_POLICIES, FaultSpec, run_serve_bench
@@ -191,6 +214,25 @@ def _cmd_serve_bench(
     if breaker is not None and breaker <= 0:
         print(f"--breaker must be >= 1, got {breaker}", file=sys.stderr)
         return 2
+    if metrics_port is not None and not 0 <= metrics_port <= 65535:
+        print(
+            f"--metrics-port must be in [0, 65535], got {metrics_port}",
+            file=sys.stderr,
+        )
+        return 2
+    if trace is not None:
+        # Fail fast (exit 2, like every other bad flag) instead of
+        # discovering an unwritable trace path mid-benchmark.
+        from pathlib import Path
+
+        trace_file = Path(trace)
+        try:
+            trace_file.parent.mkdir(parents=True, exist_ok=True)
+            with open(trace_file, "a"):
+                pass
+        except OSError as exc:
+            print(f"--trace: cannot write {trace!r}: {exc}", file=sys.stderr)
+            return 2
     faults = []
     for text in inject_faults or []:
         try:
@@ -223,6 +265,8 @@ def _cmd_serve_bench(
         max_inflight=max_inflight,
         shed_policy=shed_policy or "reject",
         breaker_threshold=breaker,
+        trace_path=trace,
+        metrics_port=metrics_port,
     )
     print(result.render())
     if out_csv:
@@ -239,7 +283,9 @@ _ALLOWED_FLAGS = {
     "serve-bench": {
         "--csv", "--queries", "--workers", "--deadline", "--inject-fault",
         "--pool", "--batch", "--max-inflight", "--shed-policy", "--breaker",
+        "--trace", "--metrics-port",
     },
+    "trace-summary": set(),
     "list": set(),
     "report": set(),
     "all": set(),
@@ -275,9 +321,15 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         default="list",
         help=(
-            "experiment name, 'all', 'list' (default), 'demo', or "
-            "'serve-bench'"
+            "experiment name, 'all', 'list' (default), 'demo', "
+            "'serve-bench', or 'trace-summary'"
         ),
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="with 'trace-summary': the trace JSONL file to summarise",
     )
     parser.add_argument(
         "--svg",
@@ -372,6 +424,27 @@ def main(argv: list[str] | None = None) -> int:
             "an execution tier's circuit breaker (default 3)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "with 'serve-bench': append every warm query's span tree "
+            "to this JSONL file (read it with 'prime-ls trace-summary "
+            "FILE')"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "with 'serve-bench': serve the warm engine's Prometheus "
+            "page on http://127.0.0.1:PORT/metrics for the bench's "
+            "duration (0 = ephemeral port)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     provided = set()
@@ -397,10 +470,21 @@ def main(argv: list[str] | None = None) -> int:
         provided.add("--shed-policy")
     if args.breaker is not None:
         provided.add("--breaker")
+    if args.trace is not None:
+        provided.add("--trace")
+    if args.metrics_port is not None:
+        provided.add("--metrics-port")
     is_experiment = args.experiment in registry
     code = _check_flags(args.experiment, provided, is_experiment)
     if code:
         return code
+    if args.path is not None and args.experiment != "trace-summary":
+        print(
+            f"prime-ls {args.experiment}: unexpected argument "
+            f"{args.path!r} (only 'trace-summary' takes a file)",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.experiment == "list":
         width = max(len(name) for name in registry)
@@ -409,6 +493,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "demo":
         return _cmd_demo(args.svg)
+    if args.experiment == "trace-summary":
+        return _cmd_trace_summary(args.path)
     if args.experiment == "serve-bench":
         return _cmd_serve_bench(
             queries=args.queries if args.queries is not None else 12,
@@ -421,6 +507,8 @@ def main(argv: list[str] | None = None) -> int:
             max_inflight=args.max_inflight,
             shed_policy=args.shed_policy,
             breaker=args.breaker,
+            trace=args.trace,
+            metrics_port=args.metrics_port,
         )
     if args.experiment == "report":
         from repro.experiments.report import generate_report

@@ -51,9 +51,28 @@ from repro.engine.faults import (
     SupervisorPolicy,
     SupervisorReport,
 )
+from repro.engine.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsServer,
+)
 from repro.engine.parallel import Supervisor, fork_available
 from repro.engine.pool import SEGMENT_PREFIX, WorkerPool, pool_segments
 from repro.engine.session import EngineStats, QueryEngine, QueryRequest
+from repro.engine.trace import (
+    NOOP_SPAN,
+    PHASES,
+    Span,
+    SpanRecord,
+    TraceReadError,
+    Tracer,
+    phase_seconds,
+    read_trace_file,
+    summarize_traces,
+    worker_spans,
+)
 
 __all__ = [
     "QueryEngine",

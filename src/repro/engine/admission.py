@@ -89,6 +89,14 @@ class ShedReport:
         """Record one refused query's typed outcome."""
         self.shed.append(shed)
 
+    def by_reason(self) -> dict[str, int]:
+        """Shed counts keyed by reason, feeding
+        ``pinls_queries_shed_total{reason=...}``."""
+        counts: dict[str, int] = {}
+        for shed in self.shed:
+            counts[shed.reason] = counts.get(shed.reason, 0) + 1
+        return counts
+
 
 class AdmissionController:
     """A bounded in-flight budget with pluggable shedding.

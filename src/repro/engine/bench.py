@@ -72,6 +72,12 @@ class ServeBenchResult:
     cache_evictions: int = 0
     #: the tier the engine would serve the *next* query on at bench end
     final_tier: str = "serial"
+    #: where span trees were written (None = tracing off)
+    trace_path: str | None = None
+    #: span trees the warm engine exported
+    traces_exported: int = 0
+    #: bound metrics-endpoint port (None = no endpoint)
+    metrics_port: int | None = None
     query: list[int] = field(default_factory=list)
     tau: list[float] = field(default_factory=list)
     cold_ms: list[float] = field(default_factory=list)
@@ -139,6 +145,18 @@ class ServeBenchResult:
             f"{self.cache_evictions} cache evictions, "
             f"final tier {self.final_tier}"
         )
+        if self.trace_path is not None or self.metrics_port is not None:
+            parts = []
+            if self.trace_path is not None:
+                parts.append(
+                    f"{self.traces_exported} trace(s) -> {self.trace_path}"
+                )
+            if self.metrics_port is not None:
+                parts.append(
+                    "metrics served at "
+                    f"http://127.0.0.1:{self.metrics_port}/metrics"
+                )
+            lines.append("observability: " + ", ".join(parts))
         return "\n".join(lines)
 
 
@@ -158,6 +176,8 @@ def run_serve_bench(
     max_queue_depth: int | None = None,
     shed_policy: str = "reject",
     breaker_threshold: int | None = None,
+    trace_path=None,
+    metrics_port: int | None = None,
 ) -> ServeBenchResult:
     """Measure warm (engine) versus cold (stateless) query latency.
 
@@ -190,6 +210,14 @@ def run_serve_bench(
     consecutive-failure trip point.  The trailing ``overload:`` summary
     line reports queries shed, breaker trips, cache evictions, and the
     tier the engine would serve the next query on.
+
+    ``trace_path`` turns on query tracing for the warm engine: every
+    warm query's span tree is appended to that JSONL file (read it back
+    with ``prime-ls trace-summary``).  ``metrics_port`` serves the warm
+    engine's Prometheus page on ``http://127.0.0.1:PORT/metrics`` for
+    the bench's duration (0 binds an ephemeral port; the bound port is
+    reported on the result).  Both leave warm results bit-identical —
+    they only observe.
     """
     world = gowalla_like(scale=scale, seed=seed)
     objects = world.dataset.objects
@@ -216,6 +244,7 @@ def run_serve_bench(
         batch=batch,
         max_inflight=max_inflight,
         shed_policy=shed_policy,
+        trace_path=str(trace_path) if trace_path is not None else None,
     )
 
     for i, tau in enumerate(taus):
@@ -242,7 +271,14 @@ def run_serve_bench(
             BreakerConfig(failure_threshold=breaker_threshold)
             if breaker_threshold is not None else None
         ),
+        trace_path=trace_path,
     )
+    server = None
+    if metrics_port is not None:
+        from repro.engine.metrics import MetricsServer
+
+        server = MetricsServer(engine.metrics, port=metrics_port)
+        result.metrics_port = server.port
     try:
         for tau in TAUS:  # priming pass: populate the per-(pf, tau) caches
             engine.query(cand_sets[0], pf=pf, tau=tau, algorithm=algorithm)
@@ -290,6 +326,9 @@ def run_serve_bench(
         result.breaker_trips = engine.stats.breaker_trips
         result.cache_evictions = engine._total_evictions()
         result.final_tier = engine.health()["tier"]
+        result.traces_exported = engine.tracer.exported
     finally:
+        if server is not None:
+            server.close()
         engine.close()
     return result

@@ -213,6 +213,11 @@ class DegradationLadder:
         """Lifetime breaker trips across every tier."""
         return sum(b.trips for b in self.breakers.values())
 
+    def trips_by_tier(self) -> dict[str, int]:
+        """``{tier: lifetime trips}`` — the per-tier split of
+        :attr:`trips`, feeding ``pinls_breaker_trips_total{tier=...}``."""
+        return {name: b.trips for name, b in self.breakers.items()}
+
     def states(self) -> dict[str, str]:
         """``{tier: state}`` for every breakable tier."""
         return {name: b.state for name, b in self.breakers.items()}

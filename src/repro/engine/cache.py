@@ -92,6 +92,10 @@ class LRUCache:
         self._sizes: dict[Hashable, int] = {}
         self.current_bytes = 0
         self.evictions = 0
+        #: lifetime ``get`` outcomes, feeding the per-cache hit-ratio
+        #: metrics (``pinls_cache_hits_total``/``..._misses_total``)
+        self.hits = 0
+        self.misses = 0
 
     # -- mapping protocol ----------------------------------------------
     def __len__(self) -> int:
@@ -103,7 +107,9 @@ class LRUCache:
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value (refreshing its recency), or ``default``."""
         if key not in self._data:
+            self.misses += 1
             return default
+        self.hits += 1
         self._data.move_to_end(key)
         return self._data[key]
 
@@ -168,6 +174,8 @@ class LRUCache:
             "entries": len(self._data),
             "max_entries": self.max_entries,
             "evictions": self.evictions,
+            "hits": self.hits,
+            "misses": self.misses,
         }
         if self.max_bytes is not None:
             out["bytes"] = self.current_bytes

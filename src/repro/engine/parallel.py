@@ -47,6 +47,7 @@ finally produced them.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass
 from multiprocessing.connection import wait as connection_wait
@@ -61,6 +62,7 @@ from repro.engine.faults import (
     SupervisorPolicy,
     SupervisorReport,
 )
+from repro.engine.trace import record_span
 
 
 def fork_available() -> bool:
@@ -97,10 +99,14 @@ def _pin_shard(span: tuple[int, int]):
     lo, hi = span
     ctx = _CONTEXT
     counters = Instrumentation()
+    t_wall, t_perf = time.time(), time.perf_counter()
     influence = ctx.solver.compute_influence(
         ctx.table, ctx.cand_xy[lo:hi], ctx.pf, ctx.tau, counters
     )
-    return lo, hi, influence, counters
+    record = record_span(
+        "shard:pin", t_wall, t_perf, lo=lo, hi=hi, pid=os.getpid()
+    )
+    return lo, hi, influence, counters, record
 
 
 def _naive_shard(span: tuple[int, int]):
@@ -108,10 +114,14 @@ def _naive_shard(span: tuple[int, int]):
     lo, hi = span
     ctx = _CONTEXT
     counters = Instrumentation()
+    t_wall, t_perf = time.time(), time.perf_counter()
     influence = ctx.solver.compute_influence(
         ctx.objects, ctx.cand_xy[lo:hi], ctx.pf, ctx.tau, counters
     )
-    return lo, hi, influence, counters
+    record = record_span(
+        "shard:na", t_wall, t_perf, lo=lo, hi=hi, pid=os.getpid()
+    )
+    return lo, hi, influence, counters, record
 
 
 def _vo_pruning_shard(span: tuple[int, int]):
@@ -119,11 +129,15 @@ def _vo_pruning_shard(span: tuple[int, int]):
     lo, hi = span
     ctx = _CONTEXT
     counters = Instrumentation()
+    t_wall, t_perf = time.time(), time.perf_counter()
     with counters.phase("pruning"):
         min_inf, vs_indexes = ctx.solver.pruning_phase(
             ctx.table, ctx.cand_xy[lo:hi], counters
         )
-    return lo, hi, (min_inf, vs_indexes), counters
+    record = record_span(
+        "shard:vo_prune", t_wall, t_perf, lo=lo, hi=hi, pid=os.getpid()
+    )
+    return lo, hi, (min_inf, vs_indexes), counters, record
 
 
 def column_spans(m: int, shards: int) -> list[tuple[int, int]]:

@@ -21,7 +21,10 @@ Dispatch protocol (all messages are plain picklable tuples):
 * ``("span", task_id, key, kind, algorithm, kwargs, pf, tau,
   cand_slice, query_id, attempt, injector)`` — run one candidate span
   (``kind`` is ``"na"``/``"pin"``/``"vo_prune"``) and reply
-  ``("ok", task_id, payload, counters)`` or ``("error", task_id, msg)``.
+  ``("ok", task_id, payload, counters, span_record)`` or
+  ``("error", task_id, msg)``; the trailing
+  :class:`~repro.engine.trace.SpanRecord` is the worker-measured trace
+  child the parent hangs under the query's span tree.
 * ``("stop",)`` — detach segments and exit.
 
 Supervision mirrors the PR-2 fork-path semantics, adapted to long-lived
@@ -76,6 +79,7 @@ from repro.core.object_table import (
 )
 from repro.core.result import Instrumentation
 from repro.engine.faults import DeadlineExceeded, SupervisorPolicy
+from repro.engine.trace import record_span
 
 #: every pool segment's name starts with this, so leak checks can scan
 #: ``/dev/shm`` without tripping over unrelated segments
@@ -182,15 +186,24 @@ class SpanTask:
 
 
 def _execute_span(kind: str, solver, data, cand_slice, pf, tau):
-    """Run one span the exact way the fork-path shard functions do."""
+    """Run one span the exact way the fork-path shard functions do.
+
+    Returns ``(payload, counters, span_record)`` — the record is the
+    worker-measured trace child shipped back with the result so the
+    parent can hang it under the query's span tree.
+    """
     counters = Instrumentation()
+    t_wall, t_perf = time.time(), time.perf_counter()
     if kind == "vo_prune":
         with counters.phase("pruning"):
             payload = solver.pruning_phase(data, cand_slice, counters)
-        return payload, counters
-    # "pin" reads the rebuilt table, "na" the rebuilt fleet
-    payload = solver.compute_influence(data, cand_slice, pf, tau, counters)
-    return payload, counters
+    else:
+        # "pin" reads the rebuilt table, "na" the rebuilt fleet
+        payload = solver.compute_influence(
+            data, cand_slice, pf, tau, counters
+        )
+    record = record_span(f"span:{kind}", t_wall, t_perf, pid=os.getpid())
+    return payload, counters, record
 
 
 def _run_local(task: SpanTask):
@@ -198,10 +211,12 @@ def _run_local(task: SpanTask):
     from repro import make_algorithm
 
     solver = make_algorithm(task.algorithm, **task.algorithm_kwargs)
-    return _execute_span(
+    payload, counters, record = _execute_span(
         task.kind, solver, task.local_context, task.cand_slice,
         task.pf, task.tau,
     )
+    record.attrs["degraded"] = True
+    return payload, counters, record
 
 
 # ----------------------------------------------------------------------
@@ -263,10 +278,11 @@ def _worker_main(slot: int, conn, sibling_conns) -> None:
                         worker=slot, query=query_id, attempt=attempt
                     )
                 solver = _solver_for(solvers, algorithm, kwargs)
-                payload, counters = _execute_span(
+                payload, counters, record = _execute_span(
                     kind, solver, data[key], cand_slice, pf, tau
                 )
-                conn.send(("ok", task_id, payload, counters))
+                record.attrs["worker"] = slot
+                conn.send(("ok", task_id, payload, counters, record))
             except BaseException as exc:  # noqa: BLE001 — parent decides
                 try:
                     conn.send(
@@ -342,7 +358,7 @@ class WorkerPool:
     the session.  ``run_batch`` is the sole entry point: it dispatches
     span tasks round-robin (at most :data:`MAX_INFLIGHT` per worker),
     supervises failures per the :class:`SupervisorPolicy`, and returns
-    ``{task_id: (payload, counters)}``.
+    ``{task_id: (payload, counters, span_record)}``.
     """
 
     def __init__(self, size: int, policy: SupervisorPolicy | None = None):
@@ -439,6 +455,14 @@ class WorkerPool:
     def segment_names(self) -> list[str]:
         """Names of the segments this pool currently owns."""
         return [shm.name for shm, *_ in self._segments.values()]
+
+    def queue_depth(self) -> int:
+        """Spans currently dispatched and unanswered, across workers.
+
+        Sampled by the engine's ``pinls_pool_queue_depth`` gauge at
+        scrape time; between dispatch rounds this is 0.
+        """
+        return sum(len(w.inflight) for w in self._workers)
 
     # -- dispatch ------------------------------------------------------
     def run_batch(self, tasks: list[SpanTask], supervisor) -> dict:
@@ -564,7 +588,7 @@ class WorkerPool:
         if task is None:
             return  # stale reply from a superseded dispatch
         if status == "ok":
-            results[task_id] = (msg[2], msg[3])
+            results[task_id] = (msg[2], msg[3], msg[4])
             return
         task.failures += 1
         supervisor.report.worker_failures += 1

@@ -71,6 +71,7 @@ from repro.engine.faults import (
     FaultInjector,
     SupervisorPolicy,
 )
+from repro.engine.metrics import MetricsRegistry
 from repro.engine.parallel import (
     ShardContext,
     Supervisor,
@@ -82,6 +83,7 @@ from repro.engine.parallel import (
     run_sharded,
 )
 from repro.engine.pool import SpanTask, WorkerPool
+from repro.engine.trace import NOOP_SPAN, Tracer
 from repro.index.rtree import RTree
 from repro.model.candidate import Candidate
 from repro.model.moving_object import MovingObject
@@ -231,6 +233,10 @@ class _BatchPlan:
     pruning: str | None = None
     pruning_key: tuple | None = None
     tasks: list = field(default_factory=list)
+    #: this request's span tree (NOOP_SPAN when tracing is off) and its
+    #: child covering the shared pool dispatch round
+    trace: Any = NOOP_SPAN
+    dispatch_span: Any = NOOP_SPAN
 
 
 class QueryEngine:
@@ -263,6 +269,8 @@ class QueryEngine:
         shed_policy: str = "reject",
         breaker: BreakerConfig | None = None,
         cache_budget: CacheBudget | None = None,
+        trace_path: str | Path | None = None,
+        tracing: bool | None = None,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -326,6 +334,14 @@ class QueryEngine:
         )
         #: the circuit-broken pool → fork → serial degradation ladder
         self.ladder = DegradationLadder(breaker or BreakerConfig())
+        #: per-query span trees (``trace_path``/``tracing`` arm it;
+        #: disabled it hands out the zero-cost no-op span)
+        self.tracer = Tracer(trace_path, enabled=tracing)
+        #: Prometheus-exposable counters/gauges/histograms; rendered by
+        #: :meth:`metrics_text` (see docs/observability.md for the
+        #: catalog)
+        self.metrics = MetricsRegistry()
+        self._init_metrics()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -441,6 +457,150 @@ class QueryEngine:
             "queries_shed": self.stats.queries_shed,
             "breaker_trips": self.ladder.trips,
         }
+
+    # ------------------------------------------------------------------
+    # Prometheus metrics
+    # ------------------------------------------------------------------
+    #: breaker states as gauge values (closed < half-open < open)
+    _BREAKER_STATES = {"closed": 0, "half-open": 1, "open": 2}
+
+    def _init_metrics(self) -> None:
+        """Register the engine's metric catalog (docs/observability.md).
+
+        Counters the hot path must label per event (query totals,
+        latency, phase seconds, sheds) are incremented directly at the
+        accounting sites; everything a component already tracks
+        (EngineStats fields, cache/breaker/admission/pool state) is
+        mirrored via scrape-time callbacks so the hot path pays
+        nothing and the two views can never drift.
+        """
+        reg = self.metrics
+        self._m_queries = reg.counter(
+            "pinls_queries_total",
+            "Queries accounted by the engine, by algorithm, execution "
+            "tier, and outcome.",
+            labels=("algorithm", "tier", "status"),
+        )
+        self._m_latency = reg.histogram(
+            "pinls_query_latency_seconds",
+            "Wall time of completed queries.",
+            labels=("algorithm", "tier"),
+        )
+        self._m_phase = reg.counter(
+            "pinls_phase_seconds_total",
+            "Cumulative seconds spent per execution phase.",
+            labels=("phase",),
+        )
+        self._m_shed = reg.counter(
+            "pinls_queries_shed_total",
+            "Queries refused by admission control, by shed reason.",
+            labels=("reason",),
+        )
+        for name, help_text, fn in (
+            ("pinls_worker_failures_total",
+             "Worker shard dispatches that died or raised.",
+             lambda: self.stats.worker_failures),
+            ("pinls_retries_total",
+             "Shard re-dispatches after worker failures.",
+             lambda: self.stats.retries),
+            ("pinls_degraded_total",
+             "Queries that fell back to in-parent serial execution.",
+             lambda: self.stats.degraded),
+            ("pinls_deadline_exceeded_total",
+             "Queries cut off by their deadline.",
+             lambda: self.stats.deadline_exceeded),
+            ("pinls_spans_dispatched_total",
+             "Span tasks handed to the persistent worker pool.",
+             lambda: self.stats.spans_dispatched),
+            ("pinls_pool_respawns_total",
+             "Pool workers killed and replaced.",
+             lambda: self.stats.pool_respawns),
+            ("pinls_records_dropped_total",
+             "In-memory metrics records dropped by the max_records cap.",
+             lambda: self.stats.records_dropped),
+            ("pinls_traces_exported_total",
+             "Span trees exported by the tracer.",
+             lambda: self.tracer.exported),
+        ):
+            reg.counter(name, help_text).set_function(fn)
+        hits = reg.counter(
+            "pinls_cache_hits_total",
+            "Session-cache hits, per cache.", labels=("cache",),
+        )
+        misses = reg.counter(
+            "pinls_cache_misses_total",
+            "Session-cache misses, per cache.", labels=("cache",),
+        )
+        evictions = reg.counter(
+            "pinls_cache_evictions_total",
+            "LRU evictions, per cache.", labels=("cache",),
+        )
+        entries = reg.gauge(
+            "pinls_cache_entries",
+            "Entries currently cached, per cache.", labels=("cache",),
+        )
+        stats = self.stats
+        for cache, hit_field, miss_field in (
+            (self._tables, "table_hits", "table_misses"),
+            (self._cand_arrays, "candidate_hits", "candidate_misses"),
+            (self._rtrees, "rtree_hits", "rtree_misses"),
+            (self._prunings, "pruning_hits", "pruning_misses"),
+        ):
+            hits.set_function(
+                lambda f=hit_field: getattr(stats, f), cache=cache.name
+            )
+            misses.set_function(
+                lambda f=miss_field: getattr(stats, f), cache=cache.name
+            )
+            evictions.set_function(
+                lambda c=cache: c.evictions, cache=cache.name
+            )
+            entries.set_function(lambda c=cache: len(c), cache=cache.name)
+        trips = reg.counter(
+            "pinls_breaker_trips_total",
+            "Circuit-breaker trips, per execution tier.",
+            labels=("tier",),
+        )
+        state = reg.gauge(
+            "pinls_breaker_state",
+            "Breaker state per tier (0=closed, 1=half-open, 2=open).",
+            labels=("tier",),
+        )
+        for tier, breaker in self.ladder.breakers.items():
+            trips.set_function(lambda b=breaker: b.trips, tier=tier)
+            state.set_function(
+                lambda b=breaker: self._BREAKER_STATES.get(b.state, -1),
+                tier=tier,
+            )
+        reg.gauge(
+            "pinls_inflight_queries",
+            "Queries currently holding an admission slot "
+            "(0 when admission control is off).",
+        ).set_function(
+            lambda: (
+                self.admission.inflight
+                if self.admission is not None else 0
+            )
+        )
+        reg.gauge(
+            "pinls_pool_queue_depth",
+            "Span tasks dispatched to pool workers and unanswered.",
+        ).set_function(
+            lambda: (
+                self._pool.queue_depth()
+                if self._pool is not None and not self._pool.closed
+                else 0
+            )
+        )
+
+    def metrics_text(self) -> str:
+        """The engine's metrics in Prometheus text exposition format.
+
+        The same page a :class:`~repro.engine.metrics.MetricsServer`
+        bound to :attr:`metrics` serves at ``/metrics``
+        (``serve-bench --metrics-port``).
+        """
+        return self.metrics.render()
 
     # ------------------------------------------------------------------
     # Worker-pool lifecycle
@@ -610,22 +770,27 @@ class QueryEngine:
         """
         self._check_open()
         candidates = list(candidates)
+        trace = self.tracer.start("query", algorithm=algorithm)
+        admission_span = trace.child("admission")
         phantom = self._apply_parent_faults(self.stats.queries)
         if self.admission is None:
+            admission_span.finish(admitted=True)
             return self._query_one(
                 candidates, pf, tau, algorithm, workers,
-                deadline_seconds, algorithm_kwargs,
+                deadline_seconds, algorithm_kwargs, trace=trace,
             )
         if not self.admission.try_acquire(phantom=phantom):
+            admission_span.finish(admitted=False)
             shed = self._shed(
                 "queue-full", priority=priority, algorithm=algorithm,
                 tau=tau, m=len(candidates),
             )
             raise QueryShedError(shed)
+        admission_span.finish(admitted=True)
         try:
             return self._query_one(
                 candidates, pf, tau, algorithm, workers,
-                deadline_seconds, algorithm_kwargs,
+                deadline_seconds, algorithm_kwargs, trace=trace,
             )
         finally:
             self.admission.release()
@@ -639,6 +804,7 @@ class QueryEngine:
         workers: int | None,
         deadline_seconds: float | None,
         algorithm_kwargs: dict,
+        trace=NOOP_SPAN,
     ) -> LSResult:
         """One admitted query: validate, execute on a tier, account."""
         started = time.perf_counter()
@@ -662,17 +828,19 @@ class QueryEngine:
             query_id=self.stats.queries,
             deadline_seconds=deadline_seconds,
         )
+        trace.set(query=self.stats.queries, tau=float(tau))
         evictions_before = self._total_evictions()
         try:
             result, workers_used, tier = self._execute(
                 candidates, pf, tau, algorithm, workers, supervisor,
-                algorithm_kwargs,
+                algorithm_kwargs, trace=trace,
             )
         except DeadlineExceeded:
             # a deadline overrun is a latency-budget decision, not a
             # tier fault — it does not feed the tier's breaker
             self._record_failure(
-                pf, tau, len(candidates), algorithm, supervisor, started
+                pf, tau, len(candidates), algorithm, supervisor, started,
+                trace=trace,
             )
             raise
         result.elapsed_seconds = time.perf_counter() - started
@@ -697,7 +865,7 @@ class QueryEngine:
         self.stats.queries += 1
         self._record_metrics(
             result, pf, tau, len(candidates), workers_used,
-            tier=tier, pooled=tier == "pool",
+            tier=tier, pooled=tier == "pool", trace=trace,
         )
         return result
 
@@ -751,7 +919,10 @@ class QueryEngine:
             candidates=m,
         )
         self.admission.report.note_shed(shed)
+        # shed queries never executed, so they carry no span tree
         self._append_record({
+            "schema": 2,
+            "trace_id": None,
             "query": query_id,
             "algorithm": algorithm,
             "tau": float(tau),
@@ -766,6 +937,8 @@ class QueryEngine:
             "best_candidate": None,
             "best_influence": None,
         })
+        self._m_queries.inc(algorithm=algorithm, tier="none", status="shed")
+        self._m_shed.inc(reason=reason)
         return shed
 
     def _fold_report(self, report) -> None:
@@ -785,6 +958,7 @@ class QueryEngine:
         workers: int,
         supervisor: Supervisor,
         algorithm_kwargs: dict,
+        trace=NOOP_SPAN,
     ) -> tuple[LSResult, int, str]:
         """Resolve one query through the caches and (maybe) workers.
 
@@ -800,6 +974,7 @@ class QueryEngine:
         # the package re-exports QueryEngine from its __init__.
         from repro import make_algorithm
 
+        plan_span = trace.child("plan")
         solver = make_algorithm(algorithm, **algorithm_kwargs)
         solver.rtree_factory = self.rtree_for
         cand_xy = self._cand_xy_for(candidates)
@@ -816,13 +991,15 @@ class QueryEngine:
         supervisor.breaker = self.ladder.breakers.get(tier)
         parallel = tier in ("pool", "fork")
         pooled = tier == "pool"
+        plan_span.finish(tier=tier)
+        trace.set(tier=tier)
 
         if isinstance(solver, PinocchioVO):
             result = self._query_vo(
                 solver, table, candidates, cand_xy, pf, tau,
                 workers if parallel else 1, supervisor,
                 pooled=pooled, algorithm=algorithm,
-                algorithm_kwargs=algorithm_kwargs,
+                algorithm_kwargs=algorithm_kwargs, trace=trace,
             )
             return result, workers if parallel else 1, tier
 
@@ -839,19 +1016,22 @@ class QueryEngine:
             result = self._run_pooled(
                 solver, kind, table, candidates, cand_xy, pf, tau,
                 workers, supervisor, algorithm, algorithm_kwargs,
+                trace=trace,
             )
             return result, workers, "pool"
         if kind is not None:
             task = _pin_shard if kind == "pin" else _naive_shard
             result = self._run_parallel(
                 solver, task, table, candidates, cand_xy, pf, tau,
-                workers, supervisor,
+                workers, supervisor, trace=trace,
             )
             return result, workers, "fork"
         supervisor.check_deadline()
         if table is not None:
             solver.table_factory = lambda _objects, _pf, _tau: table
-        return solver.select(self.objects, candidates, pf, tau), 1, "serial"
+        with trace.child("dispatch", mode="serial"):
+            result = solver.select(self.objects, candidates, pf, tau)
+        return result, 1, "serial"
 
     def _query_vo(
         self,
@@ -866,6 +1046,7 @@ class QueryEngine:
         pooled: bool = False,
         algorithm: str = "PIN-VO",
         algorithm_kwargs: dict | None = None,
+        trace=NOOP_SPAN,
     ) -> LSResult:
         """PIN-VO through the pruning cache, then sequential validation.
 
@@ -886,6 +1067,7 @@ class QueryEngine:
         key = (
             _pf_key(pf), float(tau), cand_xy.tobytes(), solver.use_pruning
         )
+        prune_span = trace.child("prune")
         cached = self._prunings.get(key)
         if cached is None:
             self.stats.pruning_misses += 1
@@ -894,6 +1076,7 @@ class QueryEngine:
                 min_inf, vs_indexes = self._pooled_vo_pruning(
                     table, cand_xy, pf, tau, workers, supervisor,
                     algorithm, algorithm_kwargs or {}, prune_counters,
+                    prune_span=prune_span,
                 )
             elif workers > 1:
                 ctx = ShardContext(
@@ -902,12 +1085,13 @@ class QueryEngine:
                 )
                 min_inf = np.zeros(m, dtype=int)
                 vs_indexes: list[np.ndarray] = [None] * m  # type: ignore[list-item]
-                for lo, hi, (mi, vs), shard_counters in run_sharded(
+                for lo, hi, (mi, vs), shard_counters, record in run_sharded(
                     _vo_pruning_shard, ctx, workers, supervisor
                 ):
                     min_inf[lo:hi] = mi
                     vs_indexes[lo:hi] = vs
                     prune_counters.merge(shard_counters)
+                    prune_span.attach(record)
             else:
                 supervisor.check_deadline()
                 with prune_counters.phase("pruning"):
@@ -918,15 +1102,19 @@ class QueryEngine:
                 min_inf.copy(), vs_indexes, _counts_only(prune_counters)
             )
             counters.merge(prune_counters)
+            prune_span.finish(cached=False)
         else:
             self.stats.pruning_hits += 1
             base_min_inf, vs_indexes, snapshot = cached
             min_inf = base_min_inf.copy()
             counters.merge(snapshot)
+            prune_span.finish(cached=True)
         supervisor.check_deadline()
-        return solver.validation_phase(
-            table, candidates, cand_xy, pf, tau, counters, min_inf, vs_indexes
-        )
+        with trace.child("validate"):
+            return solver.validation_phase(
+                table, candidates, cand_xy, pf, tau, counters, min_inf,
+                vs_indexes,
+            )
 
     def _run_parallel(
         self,
@@ -939,6 +1127,7 @@ class QueryEngine:
         tau: float,
         workers: int,
         supervisor: Supervisor,
+        trace=NOOP_SPAN,
     ) -> LSResult:
         """Sharded full-table execution (NA/PIN); merges spans + counters."""
         m = cand_xy.shape[0]
@@ -956,12 +1145,14 @@ class QueryEngine:
             pf=pf,
             tau=tau,
         )
+        with trace.child("dispatch", mode="fork") as dispatch_span:
+            shards = run_sharded(task, ctx, workers, supervisor)
         influence = np.zeros(m, dtype=int)
-        for lo, hi, shard_influence, shard_counters in run_sharded(
-            task, ctx, workers, supervisor
-        ):
-            influence[lo:hi] = shard_influence
-            counters.merge(shard_counters)
+        with trace.child("merge"):
+            for lo, hi, shard_influence, shard_counters, record in shards:
+                influence[lo:hi] = shard_influence
+                counters.merge(shard_counters)
+                dispatch_span.attach(record)
         return full_table_result(solver.name, candidates, influence, counters)
 
     def _run_pooled(
@@ -977,6 +1168,7 @@ class QueryEngine:
         supervisor: Supervisor,
         algorithm: str,
         algorithm_kwargs: dict,
+        trace=NOOP_SPAN,
     ) -> LSResult:
         """Full-table execution (NA/PIN) through the persistent pool."""
         m = cand_xy.shape[0]
@@ -993,12 +1185,15 @@ class QueryEngine:
             kind, key, algorithm, algorithm_kwargs, pf, tau, cand_xy,
             workers, 0, supervisor.query_id, local,
         )
-        outputs = pool.run_batch(tasks, supervisor)
+        with trace.child("dispatch", mode="pool") as dispatch_span:
+            outputs = pool.run_batch(tasks, supervisor)
         influence = np.zeros(m, dtype=int)
-        for task in tasks:
-            payload, span_counters = outputs[task.task_id]
-            influence[task.lo:task.hi] = payload
-            counters.merge(span_counters)
+        with trace.child("merge"):
+            for task in tasks:
+                payload, span_counters, record = outputs[task.task_id]
+                influence[task.lo:task.hi] = payload
+                counters.merge(span_counters)
+                dispatch_span.attach(record)
         return full_table_result(solver.name, candidates, influence, counters)
 
     def _pooled_vo_pruning(
@@ -1012,6 +1207,7 @@ class QueryEngine:
         algorithm: str,
         algorithm_kwargs: dict,
         prune_counters: Instrumentation,
+        prune_span=NOOP_SPAN,
     ) -> tuple[np.ndarray, list]:
         """PIN-VO's pruning phase through the persistent pool."""
         m = cand_xy.shape[0]
@@ -1025,10 +1221,11 @@ class QueryEngine:
         min_inf = np.zeros(m, dtype=int)
         vs_indexes: list[np.ndarray] = [None] * m  # type: ignore[list-item]
         for task in tasks:
-            (mi, vs), span_counters = outputs[task.task_id]
+            (mi, vs), span_counters, record = outputs[task.task_id]
             min_inf[task.lo:task.hi] = mi
             vs_indexes[task.lo:task.hi] = vs
             prune_counters.merge(span_counters)
+            prune_span.attach(record)
         return min_inf, vs_indexes
 
     # ------------------------------------------------------------------
@@ -1133,14 +1330,18 @@ class QueryEngine:
                         admitted, workers, deadline_seconds
                     )
                 else:
-                    results = [
-                        self._query_one(
+                    results = []
+                    for r in admitted:
+                        trace = self.tracer.start(
+                            "query", algorithm=r.algorithm,
+                            batch_size=len(reqs),
+                        )
+                        trace.child("admission").finish(admitted=True)
+                        results.append(self._query_one(
                             list(r.candidates), r.pf, r.tau,
                             r.algorithm, workers, deadline_seconds,
-                            r.algorithm_kwargs,
-                        )
-                        for r in admitted
-                    ]
+                            r.algorithm_kwargs, trace=trace,
+                        ))
                 for i, res in zip(admitted_idx, results):
                     slots[i] = res
         finally:
@@ -1175,6 +1376,12 @@ class QueryEngine:
         all_tasks: list[SpanTask] = []
         planned_keys: set[tuple] = set()
         for q, req in enumerate(reqs):
+            trace = self.tracer.start(
+                "query", algorithm=req.algorithm, query=base_id + q,
+                batch_size=len(reqs),
+            )
+            trace.child("admission").finish(admitted=True)
+            plan_span = trace.child("plan")
             rpf = req.pf
             if rpf is None:
                 if self._default_pf is None:
@@ -1183,6 +1390,7 @@ class QueryEngine:
             rtau = float(req.tau)
             if not 0.0 < rtau < 1.0:
                 raise ValueError(f"tau must be in (0, 1), got {req.tau}")
+            trace.set(tau=rtau)
             cands = list(req.candidates)
             if not cands:
                 raise ValueError("need at least one candidate location")
@@ -1194,7 +1402,7 @@ class QueryEngine:
             plan = _BatchPlan(
                 request=req, solver=solver, pf=rpf, tau=rtau,
                 candidates=cands, cand_xy=cand_xy,
-                query_id=base_id + q, table=table,
+                query_id=base_id + q, table=table, trace=trace,
             )
             shardable = self._poolable(rpf)
             if isinstance(solver, PinocchioVO) and shardable:
@@ -1247,9 +1455,19 @@ class QueryEngine:
                     self.objects, start_id=len(all_tasks),
                 )
                 all_tasks.extend(plan.tasks)
+            tier = "pool" if plan.tasks else "serial"
+            plan_span.finish(tier=tier)
+            trace.set(tier=tier)
             plans.append(plan)
 
-        # One dispatch round for every span of every request.
+        # One dispatch round for every span of every request.  Every
+        # plan with dispatched tasks gets a "dispatch" child covering
+        # the shared round (workers interleave spans of all requests).
+        for plan in plans:
+            if plan.tasks:
+                plan.dispatch_span = plan.trace.child(
+                    "dispatch", mode="pool", shared_round=True
+                )
         try:
             outputs = (
                 pool.run_batch(all_tasks, supervisor) if all_tasks else {}
@@ -1258,6 +1476,13 @@ class QueryEngine:
             self._fold_report(supervisor.report)
             self._batch_failures(plans, supervisor, started, len(reqs))
             raise
+        for plan in plans:
+            if plan.tasks:
+                plan.dispatch_span.finish()
+                for task in plan.tasks:
+                    out = outputs.get(task.task_id)
+                    if out is not None:
+                        plan.dispatch_span.attach(out[2])
         self._fold_report(supervisor.report)
         if all_tasks:
             report = supervisor.report
@@ -1297,7 +1522,7 @@ class QueryEngine:
             self._record_metrics(
                 result, plan.pf, plan.tau, len(plan.candidates),
                 workers, tier="pool" if plan.tasks else "serial",
-                pooled=True, batch_size=len(reqs),
+                pooled=True, batch_size=len(reqs), trace=plan.trace,
             )
             out.append(result)
         return out
@@ -1306,19 +1531,21 @@ class QueryEngine:
         self, plan: _BatchPlan, outputs: dict, supervisor: Supervisor
     ) -> LSResult:
         """Turn one batch member's span outputs into its LSResult."""
+        trace = plan.trace
         if plan.mode == "serial":
             solver = plan.solver
             if isinstance(solver, PinocchioVO):
                 return self._query_vo(
                     solver, plan.table, plan.candidates, plan.cand_xy,
-                    plan.pf, plan.tau, 1, supervisor,
+                    plan.pf, plan.tau, 1, supervisor, trace=trace,
                 )
             supervisor.check_deadline()
             if plan.table is not None:
                 solver.table_factory = lambda _o, _p, _t: plan.table
-            return solver.select(
-                self.objects, plan.candidates, plan.pf, plan.tau
-            )
+            with trace.child("dispatch", mode="serial"):
+                return solver.select(
+                    self.objects, plan.candidates, plan.pf, plan.tau
+                )
         m = plan.cand_xy.shape[0]
         counters = Instrumentation()
         if plan.table is not None:
@@ -1328,10 +1555,11 @@ class QueryEngine:
             counters.pairs_total = len(self.objects) * m
         if plan.mode == "table":
             influence = np.zeros(m, dtype=int)
-            for task in plan.tasks:
-                payload, span_counters = outputs[task.task_id]
-                influence[task.lo:task.hi] = payload
-                counters.merge(span_counters)
+            with trace.child("merge"):
+                for task in plan.tasks:
+                    payload, span_counters, _record = outputs[task.task_id]
+                    influence[task.lo:task.hi] = payload
+                    counters.merge(span_counters)
             return full_table_result(
                 plan.solver.name, plan.candidates, influence, counters
             )
@@ -1340,18 +1568,20 @@ class QueryEngine:
             prune_counters = Instrumentation()
             min_inf = np.zeros(m, dtype=int)
             vs_indexes: list[np.ndarray] = [None] * m  # type: ignore[list-item]
-            for task in plan.tasks:
-                (mi, vs), span_counters = outputs[task.task_id]
-                min_inf[task.lo:task.hi] = mi
-                vs_indexes[task.lo:task.hi] = vs
-                prune_counters.merge(span_counters)
-            self._prunings[plan.pruning_key] = (
-                min_inf.copy(), vs_indexes, _counts_only(prune_counters)
-            )
+            with trace.child("merge"):
+                for task in plan.tasks:
+                    (mi, vs), span_counters, _record = outputs[task.task_id]
+                    min_inf[task.lo:task.hi] = mi
+                    vs_indexes[task.lo:task.hi] = vs
+                    prune_counters.merge(span_counters)
+                self._prunings[plan.pruning_key] = (
+                    min_inf.copy(), vs_indexes, _counts_only(prune_counters)
+                )
             counters.merge(prune_counters)
         else:
             # "cached": memoised before the batch, or stored moments
             # ago by the earlier batch member that owned the dispatch
+            prune_span = trace.child("prune")
             cached = self._prunings.get(plan.pruning_key)
             if cached is None:
                 # a tiny pruning budget evicted the entry between the
@@ -1368,15 +1598,18 @@ class QueryEngine:
                     _counts_only(prune_counters),
                 )
                 counters.merge(prune_counters)
+                prune_span.finish(cached=False)
             else:
                 base_min_inf, vs_indexes, snapshot = cached
                 min_inf = base_min_inf.copy()
                 counters.merge(snapshot)
+                prune_span.finish(cached=True)
         supervisor.check_deadline()
-        return plan.solver.validation_phase(
-            plan.table, plan.candidates, plan.cand_xy, plan.pf,
-            plan.tau, counters, min_inf, vs_indexes,
-        )
+        with trace.child("validate"):
+            return plan.solver.validation_phase(
+                plan.table, plan.candidates, plan.cand_xy, plan.pf,
+                plan.tau, counters, min_inf, vs_indexes,
+            )
 
     def _batch_failures(
         self,
@@ -1397,6 +1630,8 @@ class QueryEngine:
             self.stats.deadline_exceeded += 1
             self.stats.queries += 1
             self._append_record({
+                "schema": 2,
+                "trace_id": plan.trace.trace_id,
                 "query": plan.query_id,
                 "algorithm": plan.request.algorithm,
                 "tau": plan.tau,
@@ -1415,6 +1650,12 @@ class QueryEngine:
                 "best_candidate": None,
                 "best_influence": None,
             })
+            self._m_queries.inc(
+                algorithm=plan.request.algorithm, tier="none",
+                status="deadline-exceeded",
+            )
+            plan.trace.set(error="DeadlineExceeded")
+            self.tracer.export(plan.trace)
 
     # ------------------------------------------------------------------
     # Metrics
@@ -1430,9 +1671,12 @@ class QueryEngine:
         tier: str = "serial",
         pooled: bool = False,
         batch_size: int = 1,
+        trace=NOOP_SPAN,
     ) -> None:
         inst = result.instrumentation
         record = {
+            "schema": 2,
+            "trace_id": trace.trace_id,
             "query": self.stats.queries - 1,
             "algorithm": result.algorithm,
             "tau": tau,
@@ -1469,6 +1713,18 @@ class QueryEngine:
             "best_influence": result.best_influence,
         }
         self._append_record(record)
+        self._m_queries.inc(
+            algorithm=result.algorithm, tier=tier, status="ok"
+        )
+        self._m_latency.observe(
+            result.elapsed_seconds, algorithm=result.algorithm, tier=tier
+        )
+        if inst.pruning_seconds:
+            self._m_phase.inc(inst.pruning_seconds, phase="pruning")
+        if inst.validation_seconds:
+            self._m_phase.inc(inst.validation_seconds, phase="validation")
+        trace.set(query=record["query"])
+        self.tracer.export(trace)
 
     def _record_failure(
         self,
@@ -1478,6 +1734,7 @@ class QueryEngine:
         algorithm: str,
         supervisor: Supervisor,
         started: float,
+        trace=NOOP_SPAN,
     ) -> None:
         """Account a deadline-exceeded query in stats and metrics.
 
@@ -1494,6 +1751,8 @@ class QueryEngine:
         query_id = self.stats.queries
         self.stats.queries += 1
         self._append_record({
+            "schema": 2,
+            "trace_id": trace.trace_id,
             "query": query_id,
             "algorithm": algorithm,
             "tau": tau,
@@ -1512,6 +1771,11 @@ class QueryEngine:
             "best_candidate": None,
             "best_influence": None,
         })
+        self._m_queries.inc(
+            algorithm=algorithm, tier="none", status="deadline-exceeded"
+        )
+        trace.set(query=query_id, error="DeadlineExceeded")
+        self.tracer.export(trace)
 
     def _append_record(self, record: dict) -> None:
         self.metrics_log.append(record)

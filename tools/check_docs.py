@@ -1,0 +1,105 @@
+"""Docs health checker: relative links and API-reference coverage.
+
+Two checks, both cheap enough for every CI run:
+
+1. every relative link in ``README.md`` and ``docs/**/*.md`` resolves
+   to a file that exists (external ``http(s)``/``mailto`` links and
+   pure ``#fragment`` anchors are skipped, fragments are stripped
+   before resolving);
+2. every public method and property of ``repro.engine.QueryEngine``
+   is mentioned in ``docs/api.md`` — the API reference must not
+   silently fall behind the engine surface.
+
+Exit status 0 when both pass, 1 with one line per problem otherwise.
+Run as ``PYTHONPATH=src python tools/check_docs.py`` from the repo
+root (CI's "Docs health" step).
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — target captured up to the first unescaped ")".
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Fenced code blocks: links inside them are examples, not navigation.
+_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every markdown link in *path*."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_links() -> list[str]:
+    """Return one problem string per broken relative link."""
+    problems = []
+    files = [REPO / "README.md", *sorted((REPO / "docs").rglob("*.md"))]
+    for md in files:
+        for lineno, target in iter_links(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                continue
+            bare = target.split("#", 1)[0]
+            if not bare:
+                continue
+            resolved = (md.parent / bare).resolve()
+            if not resolved.exists():
+                rel = md.relative_to(REPO)
+                problems.append(f"{rel}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def public_engine_api() -> list[str]:
+    """Public method/property names on ``repro.engine.QueryEngine``."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.engine import QueryEngine
+
+    names = []
+    for name, member in inspect.getmembers(QueryEngine):
+        if name.startswith("_"):
+            continue
+        if callable(member) or isinstance(member, property):
+            names.append(name)
+    return sorted(names)
+
+
+def check_api_coverage() -> list[str]:
+    """Return one problem string per engine method missing from api.md."""
+    api_md = (REPO / "docs" / "api.md").read_text()
+    problems = []
+    for name in public_engine_api():
+        if name not in api_md:
+            problems.append(
+                f"docs/api.md: public QueryEngine.{name} is undocumented"
+            )
+    return problems
+
+
+def main() -> int:
+    """Run both checks; print problems; return a process exit code."""
+    problems = check_links() + check_api_coverage()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"docs health: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("docs health: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
