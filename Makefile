@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-record report
+.PHONY: test bench bench-record bench-ladder report
 
 test:            ## tier-1 test suite
 	$(PY) -m pytest -x -q
@@ -13,6 +13,9 @@ bench:           ## paper-table benchmarks (archive under results/)
 
 bench-record:    ## serving scenarios -> BENCH_{4,5}.json + results/engine_{pool_vs_fork,overload,observability}.txt
 	$(PY) benchmarks/record_bench.py
+
+bench-ladder:    ## small-rung scale-ladder smoke (asserts columnar/legacy bit-identity; full ladder: --ladder -> BENCH_6.json)
+	$(PY) benchmarks/record_bench.py --ladder-smoke
 
 report:          ## regenerate REPORT.md (live claim audit)
 	$(PY) -m repro report

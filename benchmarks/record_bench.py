@@ -37,12 +37,23 @@ The acceptance ratios — pool ≥ 1.5× faster than fork at p50, batched
 admission out-throughputing sequential pool queries, the overload
 p99 bound with a non-empty shed count, and traced pool p50 within
 1.05× of untraced — are checked here and reported in the artifacts.
+
+``--ladder`` switches to the object-count scale ladder instead:
+10³ → 10⁶ objects at constant spatial density, measuring the columnar
+IA/NIB classification kernel against the legacy per-entry path (with
+a chunk-wise bit-identity gate), warm-serial query latency, and a
+pool worker sweep per rung — written to ``BENCH_6.json`` +
+``results/engine_scale_ladder.txt``.  ``--ladder-smoke`` (the
+``make bench-ladder`` CI step) runs only the two small rungs and
+exits non-zero on any kernel mismatch.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
+import os
 import sys
 import tempfile
 import time
@@ -50,6 +61,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.object_table import ObjectTable
+from repro.core.pruning import classify_chunks, classify_table_chunks
 from repro.datasets import gowalla_like
 from repro.engine import (
     FaultInjector,
@@ -61,6 +74,7 @@ from repro.engine import (
 from repro.engine.bench import TAUS
 from repro.engine.parallel import fork_available
 from repro.experiments.tables import TextTable
+from repro.model import Candidate, MovingObject
 from repro.prob import PowerLawPF
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -292,6 +306,361 @@ def run_scenarios(
     }
 
 
+# ----------------------------------------------------------------------
+# Scale ladder (BENCH_6.json)
+# ----------------------------------------------------------------------
+
+LADDER_SEED = 17
+LADDER_ALGORITHM = "PIN-VO"
+LADDER_TAU = 0.7
+
+#: ``(n_objects, n_candidates, n_queries)`` per rung.  The spatial
+#: extent grows with sqrt(n_objects) so object density — and with it
+#: per-candidate band sizes — stays roughly constant up the ladder;
+#: what changes is the sheer number of object-candidate pairs.
+LADDER_RUNGS = [
+    (1_000, 100, 8),
+    (10_000, 100, 6),
+    (100_000, 1_000, 4),
+    (1_000_000, 100, 3),
+]
+
+#: CI smoke: the two cheap rungs, few queries, capped wall time.
+SMOKE_RUNGS = [
+    (1_000, 64, 3),
+    (10_000, 64, 3),
+]
+
+LADDER_WORKERS = (2, 4)
+
+
+def ladder_extent(n_objects: int) -> float:
+    return 30.0 * math.sqrt(n_objects / 1_000.0)
+
+
+def make_ladder_fleet(n_objects: int, seed: int) -> list[MovingObject]:
+    """Deterministic synthetic fleet for one ladder rung.
+
+    All positions are drawn in one vectorised pass (a per-object
+    Python-loop draw would dominate the 10^6 rung) and wrapped into
+    :class:`MovingObject` instances afterwards — 4–16 positions per
+    object, clustered around a uniform anchor.
+    """
+    extent = ladder_extent(n_objects)
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(4, 17, size=n_objects)
+    offsets = np.zeros(n_objects + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    anchors = rng.uniform(0.0, extent, size=(n_objects, 2))
+    positions = np.repeat(anchors, counts, axis=0) + rng.normal(
+        0.0, 1.5, size=(int(offsets[-1]), 2)
+    )
+    return [
+        MovingObject(i, positions[offsets[i] : offsets[i + 1]])
+        for i in range(n_objects)
+    ]
+
+
+def make_ladder_candidates(
+    rng: np.random.Generator, extent: float, m: int, n_sets: int
+) -> list[list[Candidate]]:
+    """``n_sets`` distinct candidate sets (so pruning caches miss)."""
+    return [
+        [
+            Candidate(j, float(x), float(y))
+            for j, (x, y) in enumerate(
+                rng.uniform(0.0, extent, size=(m, 2))
+            )
+        ]
+        for _ in range(n_sets)
+    ]
+
+
+def classification_microbench(
+    table: ObjectTable,
+    cand_xy: np.ndarray,
+    reps: int = 3,
+) -> dict:
+    """Columnar vs legacy full-table classification, per query.
+
+    The legacy pass is exactly what every query used to pay: rebuild
+    the five MBR/radius arrays from the Python entry list, then
+    broadcast.  The columnar pass reads the table-cached arrays.  Both
+    are checked chunk-by-chunk for bit-identity before timing.
+    """
+    identical = True
+    legacy_iter = classify_chunks(table.entries, cand_xy)
+    for start, stop, ia, band in classify_table_chunks(table, cand_xy):
+        _, legacy_ia, legacy_band = next(legacy_iter)
+        if not (
+            np.array_equal(ia, legacy_ia)
+            and np.array_equal(band, legacy_band)
+        ):
+            identical = False
+
+    def columnar_pass():
+        pairs = 0
+        for _, _, ia, band in classify_table_chunks(table, cand_xy):
+            pairs += int(np.count_nonzero(ia)) + int(np.count_nonzero(band))
+        return pairs
+
+    def legacy_pass():
+        pairs = 0
+        for _, ia, band in classify_chunks(table.entries, cand_xy):
+            pairs += int(np.count_nonzero(ia)) + int(np.count_nonzero(band))
+        return pairs
+
+    def best_of(fn):
+        times = []
+        for _ in range(reps):
+            started = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - started)
+        return min(times)
+
+    columnar_pass()  # warm the table-cached arrays once
+    columnar_s = best_of(columnar_pass)
+    legacy_s = best_of(legacy_pass)
+    pairs = table.live_count * cand_xy.shape[0]
+    return {
+        "bit_identical": identical,
+        "columnar_ms_per_query": round(columnar_s * 1000.0, 3),
+        "legacy_ms_per_query": round(legacy_s * 1000.0, 3),
+        "speedup": round(legacy_s / columnar_s, 2) if columnar_s else None,
+        "pairs_per_second_columnar": (
+            round(pairs / columnar_s) if columnar_s else None
+        ),
+    }
+
+
+def timed_query_pass(engine, cand_sets, pf, tau, algorithm) -> list[float]:
+    latencies = []
+    for cands in cand_sets:
+        started = time.perf_counter()
+        engine.query(cands, pf=pf, tau=tau, algorithm=algorithm)
+        latencies.append((time.perf_counter() - started) * 1000.0)
+    return latencies
+
+
+def run_ladder_rung(
+    n_objects: int,
+    n_candidates: int,
+    n_queries: int,
+    seed: int = LADDER_SEED,
+    workers_sweep: tuple[int, ...] = LADDER_WORKERS,
+    algorithm: str = LADDER_ALGORITHM,
+) -> dict:
+    """One rung: fleet build, kernel microbench, serial + pool sweep."""
+    extent = ladder_extent(n_objects)
+    pf = PowerLawPF()
+    started = time.perf_counter()
+    objects = make_ladder_fleet(n_objects, seed)
+    fleet_s = time.perf_counter() - started
+
+    rng = np.random.default_rng(seed + 1)
+    prime_set = make_ladder_candidates(rng, extent, n_candidates, 1)[0]
+    cand_sets = make_ladder_candidates(rng, extent, n_candidates, n_queries)
+
+    started = time.perf_counter()
+    table = ObjectTable(objects, pf, LADDER_TAU)
+    table_build_s = time.perf_counter() - started
+    cand_xy = np.array([(c.x, c.y) for c in prime_set])
+    micro = classification_microbench(
+        table, cand_xy, reps=3 if n_objects <= 100_000 else 2
+    )
+
+    scenarios = {}
+    engine = QueryEngine(objects)
+    try:
+        engine.query(prime_set, pf=pf, tau=LADDER_TAU, algorithm=algorithm)
+        scenarios["warm-serial"] = latency_stats(
+            timed_query_pass(engine, cand_sets, pf, LADDER_TAU, algorithm)
+        )
+    finally:
+        engine.close()
+
+    if fork_available():
+        for w in workers_sweep:
+            engine = QueryEngine(objects, pool=True, workers=w)
+            try:
+                engine.query(
+                    prime_set, pf=pf, tau=LADDER_TAU, algorithm=algorithm
+                )
+                scenarios[f"pool-w{w}"] = latency_stats(
+                    timed_query_pass(
+                        engine, cand_sets, pf, LADDER_TAU, algorithm
+                    )
+                )
+            finally:
+                engine.close()
+
+    pool_p50s = {
+        name: s["p50_ms"]
+        for name, s in scenarios.items()
+        if name.startswith("pool-")
+    }
+    comparisons = {}
+    if pool_p50s:
+        best_pool = min(pool_p50s, key=pool_p50s.get)
+        comparisons["best_pool"] = best_pool
+        comparisons["pool_vs_serial_p50"] = round(
+            scenarios["warm-serial"]["p50_ms"] / pool_p50s[best_pool], 3
+        )
+    return {
+        "n_objects": n_objects,
+        "n_candidates": n_candidates,
+        "n_queries": n_queries,
+        "n_positions_total": int(
+            sum(o.n_positions for o in objects)
+        ),
+        "extent_km": round(extent, 1),
+        "fleet_build_s": round(fleet_s, 3),
+        "table_build_s": round(table_build_s, 3),
+        "classification": micro,
+        "scenarios": scenarios,
+        "comparisons": comparisons,
+    }
+
+
+def run_scale_ladder(
+    rungs=None,
+    seed: int = LADDER_SEED,
+    workers_sweep: tuple[int, ...] = LADDER_WORKERS,
+    algorithm: str = LADDER_ALGORITHM,
+) -> dict:
+    """The full ladder; returns the ``BENCH_6.json`` payload."""
+    if rungs is None:
+        rungs = LADDER_RUNGS
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cpus = os.cpu_count() or 1
+    results = []
+    for n_objects, n_candidates, n_queries in rungs:
+        print(
+            f"ladder rung: {n_objects} objects x {n_candidates} "
+            f"candidates, {n_queries} queries...",
+            flush=True,
+        )
+        results.append(
+            run_ladder_rung(
+                n_objects, n_candidates, n_queries,
+                seed=seed, workers_sweep=workers_sweep,
+                algorithm=algorithm,
+            )
+        )
+    top = results[-1]
+    identical = all(r["classification"]["bit_identical"] for r in results)
+    headline = {
+        "top_rung_objects": top["n_objects"],
+        "columnar_vs_legacy_classification": top["classification"][
+            "speedup"
+        ],
+        "pool_vs_serial_p50": top["comparisons"].get("pool_vs_serial_p50"),
+    }
+    ratio = headline["pool_vs_serial_p50"]
+    return {
+        "bench": "scale-ladder",
+        "algorithm": algorithm,
+        "tau": LADDER_TAU,
+        "seed": seed,
+        "cpus": cpus,
+        "workers_sweep": list(workers_sweep),
+        "rungs": results,
+        "headline": headline,
+        "targets": {
+            "pool_vs_serial_p50_target": 2.0,
+            "pool_vs_serial_p50_met": (
+                ratio is not None and ratio >= 2.0
+            ),
+            "bit_identical": identical,
+            "note": (
+                "the >=2x pool target assumes multiple CPU cores; this "
+                f"host exposes {cpus} (pool gains come from keeping the "
+                "shared columnar table resident, not from parallelism, "
+                "so the measured ratio is reported as-is)"
+            ),
+        },
+    }
+
+
+def render_ladder(payload: dict) -> str:
+    """The ladder table archived to ``results/engine_scale_ladder.txt``."""
+    table = TextTable(
+        [
+            "objects", "cands", "columnar ms", "legacy ms", "kernel x",
+            "serial p50", "pool p50", "pool x",
+        ]
+    )
+    for r in payload["rungs"]:
+        micro = r["classification"]
+        best = r["comparisons"].get("best_pool")
+        pool_p50 = r["scenarios"][best]["p50_ms"] if best else None
+        table.add_row(
+            [
+                r["n_objects"], r["n_candidates"],
+                micro["columnar_ms_per_query"],
+                micro["legacy_ms_per_query"],
+                micro["speedup"],
+                r["scenarios"]["warm-serial"]["p50_ms"],
+                pool_p50,
+                r["comparisons"].get("pool_vs_serial_p50"),
+            ],
+            float_fmt="{:.2f}",
+        )
+    t = payload["targets"]
+    lines = [
+        table.render(
+            title=(
+                f"scale ladder: {payload['algorithm']}, tau="
+                f"{payload['tau']}, cpus={payload['cpus']}, workers swept "
+                f"over {payload['workers_sweep']}"
+            )
+        ),
+        (
+            "columnar and legacy classification kernels bit-identical on "
+            f"every rung: {t['bit_identical']}"
+        ),
+        (
+            f"top-rung pool vs warm-serial p50: "
+            f"{payload['headline']['pool_vs_serial_p50']}x "
+            f"(target {t['pool_vs_serial_p50_target']}x, met: "
+            f"{t['pool_vs_serial_p50_met']})"
+        ),
+        f"note: {t['note']}",
+    ]
+    return "\n".join(lines)
+
+
+def main_ladder(args) -> int:
+    """Run the scale ladder (full or CI smoke) and write artifacts."""
+    if args.ladder_smoke:
+        payload = run_scale_ladder(
+            rungs=SMOKE_RUNGS, workers_sweep=(2,)
+        )
+        print(render_ladder(payload))
+        if not payload["targets"]["bit_identical"]:
+            print(
+                "columnar/legacy kernel mismatch on the smoke rungs",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    payload = run_scale_ladder()
+    text = render_ladder(payload)
+    print(text)
+    Path(args.out_ladder).write_text(json.dumps(payload, indent=2) + "\n")
+    results_dir = ROOT / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "engine_scale_ladder.txt").write_text(text + "\n")
+    print(f"\nJSON written to {args.out_ladder}")
+    print(
+        f"ladder table archived to "
+        f"{results_dir / 'engine_scale_ladder.txt'}"
+    )
+    return 0 if payload["targets"]["bit_identical"] else 1
+
+
 def render(payload: dict) -> str:
     """The human-readable scenario table archived under results/."""
     table = TextTable(
@@ -407,7 +776,24 @@ def main(argv=None) -> int:
         "--out-observability", default=str(ROOT / "BENCH_5.json"),
         help="where to write the observability-overhead JSON payload",
     )
+    parser.add_argument(
+        "--ladder", action="store_true",
+        help="run the object-count scale ladder instead of the serving "
+        "scenarios and write BENCH_6.json",
+    )
+    parser.add_argument(
+        "--ladder-smoke", action="store_true",
+        help="CI smoke: the two small ladder rungs, asserting the "
+        "columnar and legacy kernels agree bit-identically",
+    )
+    parser.add_argument(
+        "--out-ladder", default=str(ROOT / "BENCH_6.json"),
+        help="where to write the scale-ladder JSON payload",
+    )
     args = parser.parse_args(argv)
+
+    if args.ladder or args.ladder_smoke:
+        return main_ladder(args)
 
     payload = run_scenarios(
         n_queries=args.queries,

@@ -223,6 +223,84 @@ def batch_validate_objects(
     return influenced
 
 
+def _gather_segments(
+    positions: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Rows ``positions[starts[i] : starts[i] + counts[i]]``, concatenated.
+
+    One fancy-indexing gather instead of a Python-level list of slices
+    — the row order (and therefore every downstream float) matches
+    ``np.concatenate([positions[s : s + c] for s, c in ...])`` exactly.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty((0, 2), dtype=positions.dtype)
+    seg_ids = np.repeat(np.arange(counts.shape[0]), counts)
+    prefix = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    local = np.arange(total) - prefix[seg_ids]
+    return positions[starts[seg_ids] + local]
+
+
+def batch_validate_spans(
+    pf: ProbabilityFunction,
+    positions: np.ndarray,
+    offsets: np.ndarray,
+    idx: np.ndarray,
+    cx: float,
+    cy: float,
+    log_threshold: float,
+    counters: Instrumentation | None = None,
+    head: int = 16,
+) -> np.ndarray:
+    """Columnar :func:`batch_validate_objects` over a flat position block.
+
+    ``positions``/``offsets`` are a table's columnar export (object
+    ``i`` owns rows ``positions[offsets[i]:offsets[i+1]]``) and ``idx``
+    selects the objects to validate — the verification-set span of one
+    candidate.  Runs the same two-phase Strategy-2 evaluation without
+    ever materialising per-object arrays or entry wrappers, so pool
+    workers validate directly against the attached shared segment.
+    Bit-identical to the list-based kernel: the gathered row order,
+    the reduceat segmentation, and every counter match exactly.
+
+    Returns a boolean array aligned with ``idx``.
+    """
+    k = int(idx.shape[0])
+    if k == 0:
+        return np.zeros(0, dtype=bool)
+    starts = offsets[idx]
+    lengths = offsets[idx + 1] - starts
+    if counters is not None:
+        counters.pairs_validated += k
+        counters.positions_total += int(lengths.sum())
+
+    head_lengths = np.minimum(lengths, head)
+    head_xy = _gather_segments(positions, starts, head_lengths)
+    seg_offsets = np.concatenate([[0], np.cumsum(head_lengths)[:-1]])
+    d = np.hypot(head_xy[:, 0] - cx, head_xy[:, 1] - cy)
+    s_head = np.add.reduceat(log1m_safe(pf(d)), seg_offsets)
+    if counters is not None:
+        counters.positions_evaluated += int(head_lengths.sum())
+
+    influenced = s_head <= log_threshold
+    undecided = ~influenced & (lengths > head)
+    if counters is not None:
+        counters.early_stops += int(
+            np.count_nonzero(influenced & (lengths > head))
+        )
+    if np.any(undecided):
+        u = np.nonzero(undecided)[0]
+        tail_lengths = lengths[u] - head
+        tail_xy = _gather_segments(positions, starts[u] + head, tail_lengths)
+        tail_offsets = np.concatenate([[0], np.cumsum(tail_lengths)[:-1]])
+        d = np.hypot(tail_xy[:, 0] - cx, tail_xy[:, 1] - cy)
+        s_tail = np.add.reduceat(log1m_safe(pf(d)), tail_offsets)
+        if counters is not None:
+            counters.positions_evaluated += int(tail_lengths.sum())
+        influenced[u] = (s_head[u] + s_tail) <= log_threshold
+    return influenced
+
+
 def batch_log_non_influence(
     pf: ProbabilityFunction,
     positions: np.ndarray,

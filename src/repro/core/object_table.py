@@ -162,7 +162,24 @@ def fleet_from_columnar(cols: ColumnarTable) -> list[MovingObject]:
 
 
 class ObjectTable:
-    """``A2D``: the per-object entries plus the shared radius memo."""
+    """``A2D``: the per-object entries plus the shared radius memo.
+
+    The table keeps two synchronised representations of its live
+    objects:
+
+    * ``entries`` — per-object :class:`ObjectEntry` wrappers, used by
+      the R-tree path, the scalar kernels, and everything that wants
+      Python-level access, and
+    * the **columnar** arrays — ``(count, 4)`` MBRs, ``(count,)``
+      radii, and the flat position block — which the broadcast
+      classification and batched validation kernels read directly.
+
+    Both are cached: the columnar arrays are built at most once per
+    table (instead of on every query), and a table rebuilt from a
+    shared-memory export (:meth:`from_columnar`) defers the entry
+    wrappers until something actually asks for them — the pool's
+    columnar kernels never do.
+    """
 
     def __init__(
         self,
@@ -172,15 +189,76 @@ class ObjectTable:
     ):
         self.pf = pf
         self.tau = tau
-        self.radius_cache = MinMaxRadiusCache(pf, tau)
-        self.entries: list[ObjectEntry] = []
+        self._radius_cache: MinMaxRadiusCache | None = MinMaxRadiusCache(
+            pf, tau
+        )
+        entries: list[ObjectEntry] = []
         self.dead_objects = 0
         for obj in objects:
-            radius = self.radius_cache.radius(obj.n_positions)
+            radius = self._radius_cache.radius(obj.n_positions)
             if radius is None:
                 self.dead_objects += 1
                 continue
-            self.entries.append(ObjectEntry(obj, radius, obj.mbr))
+            entries.append(ObjectEntry(obj, radius, obj.mbr))
+        self._entries: list[ObjectEntry] | None = entries
+        self._cols: ColumnarTable | None = None
+        self._mbrs: np.ndarray | None = None
+        self._radii: np.ndarray | None = None
+
+    @property
+    def entries(self) -> list[ObjectEntry]:
+        """The per-object wrappers, materialised on first use.
+
+        A table built from :meth:`from_columnar` starts without them;
+        touching this property rebuilds zero-copy views into the
+        columnar position block (read-only, possibly shared memory).
+        """
+        if self._entries is None:
+            cols = self._cols
+            radii = cols.radii
+            self._entries = [
+                ObjectEntry(obj, float(radii[i]), obj.mbr)
+                for i, obj in enumerate(fleet_from_columnar(cols))
+            ]
+        return self._entries
+
+    @property
+    def radius_cache(self) -> MinMaxRadiusCache:
+        """The shared ``minMaxRadius`` memo, created on first use."""
+        if self._radius_cache is None:
+            self._radius_cache = MinMaxRadiusCache(self.pf, self.tau)
+        return self._radius_cache
+
+    def mbr_radius_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The cached ``(count, 4)`` MBR and ``(count,)`` radius arrays.
+
+        Built once per table (or borrowed from an attached columnar
+        export) so classification never rebuilds them per query; rows
+        are ``(min_x, min_y, max_x, max_y)`` in entry order.
+        """
+        if self._mbrs is None:
+            if self._cols is not None:
+                self._mbrs = self._cols.mbrs
+                self._radii = self._cols.radii
+            else:
+                entries = self._entries
+                self._mbrs = np.array(
+                    [e.mbr.as_tuple() for e in entries], dtype=np.float64
+                ).reshape(len(entries), 4)
+                self._radii = np.array(
+                    [e.radius for e in entries], dtype=np.float64
+                )
+        return self._mbrs, self._radii
+
+    def positions_offsets(self) -> tuple[np.ndarray, np.ndarray]:
+        """The flat ``(Σn, 2)`` position block and its prefix offsets.
+
+        Object ``i`` owns ``positions[offsets[i]:offsets[i+1]]``; built
+        (and cached) via :meth:`to_columnar`, so on a worker this is a
+        pure read of the attached shared segment.
+        """
+        cols = self.to_columnar()
+        return cols.positions, cols.offsets
 
     def to_columnar(self) -> ColumnarTable:
         """Flatten the live entries into a :class:`ColumnarTable`.
@@ -188,13 +266,20 @@ class ObjectTable:
         The export carries everything a worker process needs to answer
         span tasks — positions, offsets, ids, MBRs, radii — so the
         serving pool can publish one table per ``(PF, τ)`` in shared
-        memory and rebuild it with :meth:`from_columnar`.
+        memory and rebuild it with :meth:`from_columnar`.  Memoised:
+        repeated calls (pool republish, validation kernels) return the
+        same instance.
         """
-        return _columnar_from_parts(
-            [(e.obj, e.mbr) for e in self.entries],
-            [e.radius for e in self.entries],
-            self.dead_objects,
-        )
+        if self._cols is None:
+            entries = self.entries
+            self._cols = _columnar_from_parts(
+                [(e.obj, e.mbr) for e in entries],
+                [e.radius for e in entries],
+                self.dead_objects,
+            )
+            self._mbrs = self._cols.mbrs
+            self._radii = self._cols.radii
+        return self._cols
 
     @classmethod
     def from_columnar(
@@ -205,11 +290,14 @@ class ObjectTable:
     ) -> "ObjectTable":
         """Rebuild a table from a columnar export, bit-identically.
 
-        Positions become zero-copy read-only views into
-        ``cols.positions`` (which may live in shared memory), MBRs and
-        radii are read back rather than recomputed, and the dead-object
-        count is preserved.  Requires ``cols.radii`` (a table export,
-        not a raw fleet).
+        The columnar arrays (which may live in shared memory) become
+        the table's primary representation: the broadcast and batched
+        kernels read them directly, and per-object ``ObjectEntry``
+        wrappers — zero-copy read-only views into ``cols.positions`` —
+        are only materialised if a legacy path asks for ``entries``.
+        MBRs and radii are read back rather than recomputed, and the
+        dead-object count is preserved.  Requires ``cols.radii`` (a
+        table export, not a raw fleet).
         """
         if cols.radii is None:
             raise ValueError(
@@ -219,20 +307,27 @@ class ObjectTable:
         table = cls.__new__(cls)
         table.pf = pf
         table.tau = tau
-        table.radius_cache = MinMaxRadiusCache(pf, tau)
+        table._radius_cache = None
         table.dead_objects = int(cols.dead_objects)
-        table.entries = [
-            ObjectEntry(obj, float(cols.radii[i]), obj.mbr)
-            for i, obj in enumerate(fleet_from_columnar(cols))
-        ]
+        table._entries = None
+        table._cols = cols
+        table._mbrs = cols.mbrs
+        table._radii = cols.radii
         return table
 
     @property
+    def entries_materialised(self) -> bool:
+        """Whether the per-object wrappers exist yet (test hook)."""
+        return self._entries is not None
+
+    @property
     def live_count(self) -> int:
-        return len(self.entries)
+        if self._entries is not None:
+            return len(self._entries)
+        return self._cols.count
 
     def __iter__(self) -> Iterator[ObjectEntry]:
         return iter(self.entries)
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return self.live_count

@@ -20,7 +20,7 @@ from repro.core.influence import (
     validate_pair,
 )
 from repro.core.object_table import ObjectTable
-from repro.core.pruning import classify_candidates, classify_chunks
+from repro.core.pruning import classify_candidates, classify_table_chunks
 from repro.core.result import Instrumentation, LSResult, full_table_result
 from repro.model.candidate import Candidate
 from repro.model.moving_object import MovingObject
@@ -84,56 +84,63 @@ class Pinocchio(LocationSelector):
         log_threshold = influence_threshold_log(tau)
         influence = np.zeros(m, dtype=int)
 
+        # Phase attribution, identical on both paths: validation
+        # kernels are timed directly, and everything else in this call
+        # — classification and its band bookkeeping — is charged to
+        # pruning as (wall time − validation time).  By construction
+        # the two phase columns always sum to the call's wall time.
+        started = time.perf_counter()
+        validation_before = counters.validation_seconds
+
         if self.use_rtree:
-            with counters.phase("pruning"):
-                rtree = self._candidate_rtree(cand_xy, self.rtree_max_entries)
+            rtree = self._candidate_rtree(cand_xy, self.rtree_max_entries)
             for entry in table:
-                with counters.phase("pruning"):
-                    outcome = classify_candidates(entry, cand_xy, rtree)
-                    counters.pairs_pruned_ia += outcome.certain.size
-                    counters.pairs_pruned_nib += outcome.pruned_nib
-                    influence[outcome.certain] += 1
+                outcome = classify_candidates(entry, cand_xy, rtree)
+                counters.pairs_pruned_ia += outcome.certain.size
+                counters.pairs_pruned_nib += outcome.pruned_nib
+                influence[outcome.certain] += 1
                 if outcome.maybe.size:
                     with counters.phase("validation"):
                         self._validate_band(
-                            entry, outcome.maybe, cand_xy, pf,
-                            log_threshold, influence, counters,
+                            entry.obj.positions, outcome.maybe, cand_xy,
+                            pf, log_threshold, influence, counters,
                         )
         else:
-            # The generator computes each chunk's classification inside
-            # next(), so the loop is unrolled manually to attribute
-            # classification and validation to their phases.
-            chunks = classify_chunks(table.entries, cand_xy)
-            while True:
-                started = time.perf_counter()
-                item = next(chunks, None)
-                if item is not None:
-                    chunk, ia, band = item
-                    ia_count = int(np.count_nonzero(ia))
-                    band_count = int(np.count_nonzero(band))
-                    counters.pairs_pruned_ia += ia_count
-                    counters.pairs_pruned_nib += (
-                        len(chunk) * m - ia_count - band_count
-                    )
-                    influence += ia.sum(axis=0)
-                    rows, cols = np.nonzero(band)
-                    boundaries = np.searchsorted(rows, np.arange(len(chunk) + 1))
-                counters.pruning_seconds += time.perf_counter() - started
-                if item is None:
-                    break
+            positions, offsets = table.positions_offsets()
+            for start, stop, ia, band in classify_table_chunks(
+                table, cand_xy
+            ):
+                ia_count = int(np.count_nonzero(ia))
+                band_count = int(np.count_nonzero(band))
+                counters.pairs_pruned_ia += ia_count
+                counters.pairs_pruned_nib += (
+                    (stop - start) * m - ia_count - band_count
+                )
+                influence += ia.sum(axis=0)
+                rows, cols = np.nonzero(band)
+                boundaries = np.searchsorted(
+                    rows, np.arange(stop - start + 1)
+                )
                 with counters.phase("validation"):
-                    for i, entry in enumerate(chunk):
+                    for i in range(stop - start):
                         maybe = cols[boundaries[i] : boundaries[i + 1]]
                         if maybe.size:
                             self._validate_band(
-                                entry, maybe, cand_xy, pf,
+                                positions[
+                                    offsets[start + i] : offsets[start + i + 1]
+                                ],
+                                maybe, cand_xy, pf,
                                 log_threshold, influence, counters,
                             )
+        validation_delta = counters.validation_seconds - validation_before
+        counters.pruning_seconds += (
+            time.perf_counter() - started
+        ) - validation_delta
         return influence
 
     def _validate_band(
         self,
-        entry,
+        positions: np.ndarray,
         maybe: np.ndarray,
         cand_xy: np.ndarray,
         pf: ProbabilityFunction,
@@ -141,23 +148,25 @@ class Pinocchio(LocationSelector):
         influence: np.ndarray,
         counters: Instrumentation,
     ) -> None:
-        """Exact validation of one object's surviving candidate band."""
+        """Exact validation of one object's surviving candidate band.
+
+        ``positions`` is the object's ``(n, 2)`` array — on the scan
+        path a view into the table's flat columnar block.
+        """
         if self.kernel == "vector":
             # One matrix kernel resolves the whole band of this object.
-            logs = batch_log_non_influence(
-                pf, entry.obj.positions, cand_xy[maybe]
-            )
+            logs = batch_log_non_influence(pf, positions, cand_xy[maybe])
             influenced = logs <= log_threshold
             influence[maybe[influenced]] += 1
             counters.pairs_validated += maybe.size
-            n = entry.obj.n_positions
+            n = positions.shape[0]
             counters.positions_total += n * maybe.size
             counters.positions_evaluated += n * maybe.size
         else:
             for j in maybe:
                 influenced = validate_pair(
                     pf,
-                    entry.obj.positions,
+                    positions,
                     cand_xy[j, 0],
                     cand_xy[j, 1],
                     log_threshold,

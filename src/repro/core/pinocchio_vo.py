@@ -22,8 +22,9 @@ Bookkeeping notes (all behaviour-preserving w.r.t. Algorithm 3):
   paper's 0 — ``minInf`` is a certified lower bound after pruning, so
   this is sound and strictly tightens Strategy 1 from the first pop.
 * In the default vector kernel, one candidate's verification set is
-  validated in object batches with a two-phase early stop
-  (:func:`repro.core.influence.batch_validate_objects`); Strategy 1
+  validated in object batches with a two-phase early stop, gathered
+  columnar from the table's flat position block
+  (:func:`repro.core.influence.batch_validate_spans`); Strategy 1
   aborts at batch boundaries.  The scalar kernel follows the paper's
   per-object/per-position loop exactly.
 
@@ -41,13 +42,13 @@ import numpy as np
 
 from repro.core.base import LocationSelector, candidates_to_array
 from repro.core.influence import (
-    batch_validate_objects,
+    batch_validate_spans,
     influence_threshold_log,
     log1m_safe,
     validate_pair,
 )
-from repro.core.object_table import ObjectEntry, ObjectTable
-from repro.core.pruning import classify_candidates, classify_chunks
+from repro.core.object_table import ObjectTable
+from repro.core.pruning import classify_candidates, classify_table_chunks
 from repro.core.result import Instrumentation, LSResult
 from repro.model.candidate import Candidate
 from repro.model.moving_object import MovingObject
@@ -148,7 +149,7 @@ class PinocchioVO(LocationSelector):
                 counters.candidates_skipped_strategy1 += 1 + len(heap)
                 break
             aborted = self._validate_candidate(
-                pf, table.entries, vs_indexes[j],
+                pf, table, vs_indexes[j],
                 cand_xy[j, 0], cand_xy[j, 1],
                 log_threshold, counters, min_inf, max_inf, j, maxmin_inf,
             )
@@ -197,23 +198,23 @@ class PinocchioVO(LocationSelector):
         m = cand_xy.shape[0]
         min_inf = np.zeros(m, dtype=int)
         if not self.use_pruning:
-            everything = np.arange(len(table.entries))
+            everything = np.arange(table.live_count)
             return min_inf, [everything] * m
         if self.use_rtree:
             return self._prune_with_rtree(table, cand_xy, counters, min_inf)
         all_rows: list[np.ndarray] = []
         all_cols: list[np.ndarray] = []
-        offset = 0
-        for chunk, ia, band in classify_chunks(table.entries, cand_xy):
+        for start, stop, ia, band in classify_table_chunks(table, cand_xy):
             ia_count = int(np.count_nonzero(ia))
             band_count = int(np.count_nonzero(band))
             counters.pairs_pruned_ia += ia_count
-            counters.pairs_pruned_nib += len(chunk) * m - ia_count - band_count
+            counters.pairs_pruned_nib += (
+                (stop - start) * m - ia_count - band_count
+            )
             min_inf += ia.sum(axis=0)
             rows, cols = np.nonzero(band)
-            all_rows.append(rows + offset)
+            all_rows.append(rows + start)
             all_cols.append(cols)
-            offset += len(chunk)
         rows = np.concatenate(all_rows) if all_rows else np.empty(0, dtype=int)
         cols = np.concatenate(all_cols) if all_cols else np.empty(0, dtype=int)
         # Group band pairs by candidate with one sort instead of
@@ -252,7 +253,7 @@ class PinocchioVO(LocationSelector):
     def _validate_candidate(
         self,
         pf: ProbabilityFunction,
-        entries: list[ObjectEntry],
+        table: ObjectTable,
         vs: np.ndarray,
         cx: float,
         cy: float,
@@ -268,11 +269,18 @@ class PinocchioVO(LocationSelector):
         Returns ``True`` when the candidate was abandoned by Strategy 1.
         """
         if self.kernel == "vector":
+            # Columnar Strategy-2 kernel: each batch of the span is
+            # gathered straight from the table's flat position block —
+            # no per-object arrays, no entry wrappers (pool workers
+            # validate against the attached shared segment as-is).
+            positions, offsets = table.positions_offsets()
             for start in range(0, vs.size, self.BATCH_OBJECTS):
                 batch = vs[start : start + self.BATCH_OBJECTS]
-                influenced = batch_validate_objects(
+                influenced = batch_validate_spans(
                     pf,
-                    [entries[i].obj.positions for i in batch.tolist()],
+                    positions,
+                    offsets,
+                    batch,
                     cx,
                     cy,
                     log_threshold,
@@ -285,6 +293,7 @@ class PinocchioVO(LocationSelector):
                     counters.candidates_skipped_strategy1 += 1
                     return True
             return False
+        entries = table.entries
         for i in vs.tolist():
             entry = entries[i]
             fail_fast_bound = None

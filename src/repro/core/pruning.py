@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.object_table import ObjectEntry
+from repro.core.object_table import ObjectEntry, ObjectTable
 from repro.index.rtree import RTree
 
 
@@ -53,6 +53,35 @@ def classify_chunk(
     max_x = np.array([e.mbr.max_x for e in entries])[:, None]
     max_y = np.array([e.mbr.max_y for e in entries])[:, None]
     radius = np.array([e.radius for e in entries])[:, None]
+    return _classify_columns(min_x, min_y, max_x, max_y, radius, cand_xy)
+
+
+def classify_span(
+    mbrs: np.ndarray,
+    radii: np.ndarray,
+    cand_xy: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Columnar IA/NIB classification straight off the cached arrays.
+
+    ``mbrs`` is ``(r, 4)`` rows ``(min_x, min_y, max_x, max_y)`` and
+    ``radii`` is ``(r,)`` — the arrays
+    :meth:`repro.core.object_table.ObjectTable.mbr_radius_arrays`
+    caches once per table — so nothing is rebuilt from Python objects
+    per query.  Bit-identical to :func:`classify_chunk` on the same
+    entries: both run the exact same broadcast expressions over the
+    exact same float64 values.
+    """
+    return _classify_columns(
+        mbrs[:, 0][:, None],
+        mbrs[:, 1][:, None],
+        mbrs[:, 2][:, None],
+        mbrs[:, 3][:, None],
+        radii[:, None],
+        cand_xy,
+    )
+
+
+def _classify_columns(min_x, min_y, max_x, max_y, radius, cand_xy):
     x = cand_xy[:, 0][None, :]
     y = cand_xy[:, 1][None, :]
     dx = np.maximum(np.maximum(min_x - x, 0.0), x - max_x)
@@ -72,6 +101,14 @@ def classify_chunk(
 CLASSIFY_CHUNK = 1024
 
 
+def _check_chunk_size(chunk_size: int) -> None:
+    # range(0, n, chunk_size) with a negative step silently yields no
+    # chunks (an all-zero influence table downstream) and a zero step
+    # raises a bare ValueError from range — fail loudly instead.
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+
+
 def classify_chunks(
     entries: list[ObjectEntry],
     cand_xy: np.ndarray,
@@ -80,12 +117,48 @@ def classify_chunks(
     """Yield ``(chunk_entries, ia, band)`` over object chunks.
 
     ``ia``/``band`` are the boolean matrices of :func:`classify_chunk`
-    restricted to the chunk's rows.
+    restricted to the chunk's rows.  This is the legacy entry-list
+    path, kept for ablations and the columnar-identity tests;
+    :func:`classify_table_chunks` is the hot path.
     """
-    for start in range(0, len(entries), chunk_size):
-        chunk = entries[start : start + chunk_size]
-        ia, band = classify_chunk(chunk, cand_xy)
-        yield chunk, ia, band
+    _check_chunk_size(chunk_size)
+
+    def gen():
+        for start in range(0, len(entries), chunk_size):
+            chunk = entries[start : start + chunk_size]
+            ia, band = classify_chunk(chunk, cand_xy)
+            yield chunk, ia, band
+
+    return gen()
+
+
+def classify_table_chunks(
+    table: ObjectTable,
+    cand_xy: np.ndarray,
+    chunk_size: int = CLASSIFY_CHUNK,
+):
+    """Yield ``(start, stop, ia, band)`` over a table's columnar arrays.
+
+    The columnar counterpart of :func:`classify_chunks`: reads the
+    table-cached MBR/radius arrays directly (no per-query rebuild from
+    ``ObjectEntry`` lists, and no entry materialisation on tables
+    attached from shared memory).  Chunk ``[start, stop)`` indexes
+    entry order; the boolean matrices are bit-identical to the legacy
+    path's.
+    """
+    _check_chunk_size(chunk_size)
+    mbrs, radii = table.mbr_radius_arrays()
+    count = mbrs.shape[0]
+
+    def gen():
+        for start in range(0, count, chunk_size):
+            stop = min(start + chunk_size, count)
+            ia, band = classify_span(
+                mbrs[start:stop], radii[start:stop], cand_xy
+            )
+            yield start, stop, ia, band
+
+    return gen()
 
 
 def classify_candidates(

@@ -19,7 +19,7 @@ import heapq
 import numpy as np
 
 from repro.core.base import LocationSelector, candidates_to_array
-from repro.core.influence import batch_validate_objects, influence_threshold_log
+from repro.core.influence import batch_validate_spans, influence_threshold_log
 from repro.core.pinocchio_vo import PinocchioVO
 from repro.core.result import Instrumentation, LSResult
 from repro.model.candidate import Candidate
@@ -88,6 +88,7 @@ class TopKPrimeLS(LocationSelector):
         fully_validated: dict[int, int] = {}
         heap = [(-int(max_inf[j]), -int(min_inf[j]), j) for j in range(m)]
         heapq.heapify(heap)
+        positions, offsets = table.positions_offsets()
 
         while heap:
             _, _, j = heapq.heappop(heap)
@@ -100,9 +101,11 @@ class TopKPrimeLS(LocationSelector):
             vs = vs_indexes[j]
             for start in range(0, vs.size, self.BATCH_OBJECTS):
                 batch = vs[start : start + self.BATCH_OBJECTS]
-                influenced = batch_validate_objects(
+                influenced = batch_validate_spans(
                     pf,
-                    [table.entries[i].obj.positions for i in batch.tolist()],
+                    positions,
+                    offsets,
+                    batch,
                     cand_xy[j, 0],
                     cand_xy[j, 1],
                     log_threshold,

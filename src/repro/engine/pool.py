@@ -267,6 +267,10 @@ def _worker_main(slot: int, conn, sibling_conns) -> None:
                 if cols.radii is None:
                     data[key] = fleet_from_columnar(cols)
                 else:
+                    # Lazy: the columnar kernels read the attached
+                    # arrays directly, so no per-object wrappers or
+                    # radius memo are built here (only a scalar/R-tree
+                    # span would materialise them on demand).
                     data[key] = ObjectTable.from_columnar(cols, pf, tau)
                 segments[key] = shm
                 continue

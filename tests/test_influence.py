@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.core.influence import (
     batch_log_non_influence,
     batch_validate_objects,
+    batch_validate_spans,
     cumulative_probability,
     influence_threshold_log,
     log1m_safe,
@@ -249,3 +250,56 @@ class TestBatchKernels:
             assert bool(got[k]) == (
                 cumulative_probability(pf, obj, 25.0, 25.0) >= tau
             )
+
+
+class TestBatchValidateSpans:
+    """The columnar span kernel is bit-identical to the list kernel."""
+
+    @staticmethod
+    def flat_block(objects):
+        positions = np.concatenate(objects, axis=0)
+        lengths = np.array([o.shape[0] for o in objects], dtype=np.int64)
+        offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        return positions, offsets
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        tau=st.floats(0.05, 0.95),
+        k=st.integers(1, 25),
+        head=st.sampled_from([1, 4, 16]),
+    )
+    def test_property_matches_list_kernel(self, seed, tau, k, head):
+        pf = PowerLawPF()
+        rng = np.random.default_rng(seed)
+        objects = [
+            rng.uniform(0, 40, size=(int(rng.integers(1, 50)), 2))
+            for _ in range(30)
+        ]
+        positions, offsets = self.flat_block(objects)
+        idx = rng.choice(len(objects), size=k, replace=False)
+        cx, cy = float(rng.uniform(0, 40)), float(rng.uniform(0, 40))
+        log_thr = influence_threshold_log(tau)
+
+        want_counters = Instrumentation()
+        want = batch_validate_objects(
+            pf, [objects[i] for i in idx.tolist()], cx, cy, log_thr,
+            counters=want_counters, head=head,
+        )
+        got_counters = Instrumentation()
+        got = batch_validate_spans(
+            pf, positions, offsets, idx, cx, cy, log_thr,
+            counters=got_counters, head=head,
+        )
+        np.testing.assert_array_equal(got, want)
+        assert got_counters == want_counters
+
+    def test_empty_span(self, pf):
+        objects = [np.zeros((3, 2))]
+        positions, offsets = self.flat_block(objects)
+        got = batch_validate_spans(
+            pf, positions, offsets, np.empty(0, dtype=int),
+            0.0, 0.0, influence_threshold_log(0.5),
+        )
+        assert got.shape == (0,)

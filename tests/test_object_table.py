@@ -80,3 +80,66 @@ class TestPowerLawNeverDead:
         objects = make_objects(rng, 20, n_range=(1, 5))
         table = ObjectTable(objects, pf, 0.89)
         assert table.dead_objects == 0
+
+
+class TestColumnarCaching:
+    """Table-cached columnar arrays and the lazy rebuild path."""
+
+    def test_to_columnar_is_memoised(self, pf, rng):
+        table = ObjectTable(make_objects(rng, 8), pf, 0.7)
+        assert table.to_columnar() is table.to_columnar()
+
+    def test_mbr_radius_arrays_match_entries(self, pf, rng):
+        table = ObjectTable(make_objects(rng, 12), pf, 0.7)
+        mbrs, radii = table.mbr_radius_arrays()
+        assert mbrs.shape == (12, 4)
+        for i, e in enumerate(table.entries):
+            assert tuple(mbrs[i]) == e.mbr.as_tuple()
+            assert radii[i] == e.radius
+        # Cached: same arrays every call, also after to_columnar().
+        assert table.mbr_radius_arrays()[0] is mbrs
+        cols = table.to_columnar()
+        np.testing.assert_array_equal(cols.mbrs, mbrs)
+
+    def test_positions_offsets_cover_entries(self, pf, rng):
+        table = ObjectTable(make_objects(rng, 9, n_range=(1, 7)), pf, 0.7)
+        positions, offsets = table.positions_offsets()
+        for i, e in enumerate(table.entries):
+            np.testing.assert_array_equal(
+                positions[offsets[i] : offsets[i + 1]], e.obj.positions
+            )
+
+    def test_from_columnar_defers_entry_materialisation(self, pf, rng):
+        table = ObjectTable(make_objects(rng, 10, n_range=(1, 6)), pf, 0.7)
+        rebuilt = ObjectTable.from_columnar(table.to_columnar(), pf, 0.7)
+        assert not rebuilt.entries_materialised
+        # The columnar accessors must not wake the wrappers either.
+        assert rebuilt.live_count == table.live_count
+        assert len(rebuilt) == len(table)
+        rebuilt.mbr_radius_arrays()
+        rebuilt.positions_offsets()
+        assert rebuilt.to_columnar() is table.to_columnar()
+        assert not rebuilt.entries_materialised
+        # Touching .entries materialises zero-copy views, bit-identical.
+        for got, want in zip(rebuilt.entries, table.entries):
+            assert got.obj.object_id == want.obj.object_id
+            assert got.radius == want.radius
+            assert got.mbr == want.mbr
+            np.testing.assert_array_equal(
+                got.obj.positions, want.obj.positions
+            )
+        assert rebuilt.entries_materialised
+
+    def test_from_columnar_radius_cache_is_lazy(self, pf, rng):
+        table = ObjectTable(make_objects(rng, 4), pf, 0.7)
+        rebuilt = ObjectTable.from_columnar(table.to_columnar(), pf, 0.7)
+        assert rebuilt._radius_cache is None
+        assert rebuilt.radius_cache is not None
+
+    def test_empty_table_columnar_roundtrip(self, pf):
+        table = ObjectTable([], pf, 0.7)
+        mbrs, radii = table.mbr_radius_arrays()
+        assert mbrs.shape == (0, 4) and radii.shape == (0,)
+        rebuilt = ObjectTable.from_columnar(table.to_columnar(), pf, 0.7)
+        assert rebuilt.live_count == 0
+        assert rebuilt.entries == []

@@ -82,6 +82,35 @@ class TestAccounting:
         inst = pin.instrumentation
         assert inst.pairs_validated < inst.pairs_total
 
+    @pytest.mark.parametrize("use_rtree", [False, True])
+    def test_phase_sums_equal_wall_time(self, pf, rng, use_rtree):
+        # Regression: the scan path used to charge its band bookkeeping
+        # (and the final failed next()) to pruning_seconds while the
+        # R-tree path did not.  Both paths now attribute every second
+        # of compute_influence to exactly one phase, so the two phase
+        # columns must sum to the call's wall time on either path.
+        import time
+
+        from repro.core.base import candidates_to_array
+        from repro.core.object_table import ObjectTable
+        from repro.core.result import Instrumentation
+
+        objects = make_objects(rng, 40, n_range=(1, 30))
+        cand_xy = candidates_to_array(make_candidates(rng, 40))
+        table = ObjectTable(objects, pf, 0.6)
+        solver = Pinocchio(use_rtree=use_rtree)
+        counters = Instrumentation()
+        started = time.perf_counter()
+        solver.compute_influence(table, cand_xy, pf, 0.6, counters)
+        wall = time.perf_counter() - started
+        phase_sum = counters.pruning_seconds + counters.validation_seconds
+        assert counters.pruning_seconds >= 0.0
+        assert counters.validation_seconds > 0.0
+        # The phases partition the call's own wall clock; only the
+        # caller-side timer overhead may separate the two.
+        assert phase_sum <= wall
+        assert wall - phase_sum < 5e-3
+
     def test_ranking_helper(self, pf, rng):
         objects = make_objects(rng, 10)
         candidates = make_candidates(rng, 10)

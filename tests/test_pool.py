@@ -177,6 +177,68 @@ class TestSupervision:
         assert_no_orphans()
 
 
+class TestWorkerRebuild:
+    """The worker-side table rebuild is dead weight no more.
+
+    Workers attach a shared segment and serve columnar spans straight
+    off its arrays — no per-object ``ObjectEntry`` wrappers and no
+    fresh ``MinMaxRadiusCache`` are built any more.  These tests run
+    the exact span code path on a table rebuilt from a columnar export
+    and assert both the laziness and the unchanged answers, then check
+    a real pooled engine still leaves ``/dev/shm`` spotless.
+    """
+
+    def test_columnar_spans_never_materialise_entries(self, world, candidates, pf):
+        from repro.core.base import candidates_to_array
+        from repro.core.object_table import ObjectTable
+        from repro.core.pinocchio import Pinocchio
+        from repro.core.pinocchio_vo import PinocchioVO
+        from repro.core.result import Instrumentation
+
+        cand_xy = candidates_to_array(candidates)
+        table = ObjectTable(world, pf, 0.7)
+        rebuilt = ObjectTable.from_columnar(table.to_columnar(), pf, 0.7)
+        assert not rebuilt.entries_materialised
+        assert rebuilt._radius_cache is None
+
+        # "pin" span: full influence table on the rebuilt table.
+        got_counters, want_counters = Instrumentation(), Instrumentation()
+        got = Pinocchio().compute_influence(
+            rebuilt, cand_xy, pf, 0.7, got_counters
+        )
+        want = Pinocchio().compute_influence(
+            table, cand_xy, pf, 0.7, want_counters
+        )
+        np.testing.assert_array_equal(got, want)
+        assert got_counters.pairs_validated == want_counters.pairs_validated
+
+        # "vo_prune" span: minInf and verification sets.
+        got_counters, want_counters = Instrumentation(), Instrumentation()
+        got_inf, got_vs = PinocchioVO().pruning_phase(
+            rebuilt, cand_xy, got_counters
+        )
+        want_inf, want_vs = PinocchioVO().pruning_phase(
+            table, cand_xy, want_counters
+        )
+        np.testing.assert_array_equal(got_inf, want_inf)
+        for g, w in zip(got_vs, want_vs):
+            np.testing.assert_array_equal(g, w)
+
+        # Neither span kind woke the per-object wrappers or the memo.
+        assert not rebuilt.entries_materialised
+        assert rebuilt._radius_cache is None
+
+    def test_columnar_spans_keep_shm_clean(self, world, candidates, pf):
+        with pooled_engine(world) as engine:
+            for algorithm in ("PIN", "PIN-VO"):
+                engine.query(
+                    candidates, pf=pf, tau=0.7, algorithm=algorithm
+                )
+            assert pool_segments(), "queries must publish segments"
+        assert pool_segments() == []
+        assert_no_orphans()
+
+
 class TestLifecycle:
     """Segments and workers are released on close() and at exit."""
 

@@ -2,14 +2,19 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.object_table import ObjectTable
 from repro.core.pruning import (
     classify_candidates,
     classify_chunk,
     classify_chunks,
+    classify_span,
+    classify_table_chunks,
 )
 from repro.index import RTree
+from repro.model import MovingObject
 from repro.prob import PowerLawPF
 
 from tests.helpers import make_candidates, make_objects
@@ -102,6 +107,120 @@ class TestClassifyChunk:
             rows_band.append(band)
         np.testing.assert_array_equal(np.vstack(rows_ia), full_ia)
         np.testing.assert_array_equal(np.vstack(rows_band), full_band)
+
+
+class TestChunkSizeValidation:
+    """Regression: bad chunk sizes must fail loudly, not yield nothing.
+
+    ``range(0, n, -k)`` is empty, so a negative ``chunk_size`` used to
+    silently produce zero chunks — an all-zero influence table — and
+    ``chunk_size=0`` raised a bare ``ValueError`` from ``range``.
+    """
+
+    @pytest.mark.parametrize("bad", [0, -1, -1024])
+    def test_classify_chunks_rejects_bad_chunk_size(
+        self, table_and_candidates, bad
+    ):
+        table, cand_xy = table_and_candidates
+        with pytest.raises(ValueError, match="chunk_size must be >= 1"):
+            classify_chunks(table.entries, cand_xy, chunk_size=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1, -1024])
+    def test_classify_table_chunks_rejects_bad_chunk_size(
+        self, table_and_candidates, bad
+    ):
+        table, cand_xy = table_and_candidates
+        with pytest.raises(ValueError, match="chunk_size must be >= 1"):
+            classify_table_chunks(table, cand_xy, chunk_size=bad)
+
+    def test_rejects_eagerly_without_iteration(self, table_and_candidates):
+        # The error must fire at the call site even if the caller never
+        # consumes the generator.
+        table, cand_xy = table_and_candidates
+        with pytest.raises(ValueError):
+            classify_chunks(table.entries, cand_xy, chunk_size=-4)
+        with pytest.raises(ValueError):
+            classify_table_chunks(table, cand_xy, chunk_size=-4)
+
+
+def stacked_table_chunks(table, cand_xy, chunk_size):
+    """Full (ia, band) matrices from the columnar chunk iterator."""
+    rows_ia, rows_band = [], []
+    covered = 0
+    for start, stop, ia, band in classify_table_chunks(
+        table, cand_xy, chunk_size=chunk_size
+    ):
+        assert start == covered
+        covered = stop
+        rows_ia.append(ia)
+        rows_band.append(band)
+    assert covered == table.live_count
+    m = cand_xy.shape[0]
+    if not rows_ia:
+        return np.zeros((0, m), dtype=bool), np.zeros((0, m), dtype=bool)
+    return np.vstack(rows_ia), np.vstack(rows_band)
+
+
+class TestColumnarIdentity:
+    """The columnar kernels split exactly like every legacy path."""
+
+    def test_classify_span_matches_classify_chunk(
+        self, table_and_candidates
+    ):
+        table, cand_xy = table_and_candidates
+        legacy_ia, legacy_band = classify_chunk(table.entries, cand_xy)
+        mbrs, radii = table.mbr_radius_arrays()
+        ia, band = classify_span(mbrs, radii, cand_xy)
+        np.testing.assert_array_equal(ia, legacy_ia)
+        np.testing.assert_array_equal(band, legacy_band)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n_objects=st.integers(0, 30),
+        m=st.integers(1, 40),
+        tau=st.sampled_from([0.5, 0.7, 0.9]),
+        chunk_size=st.integers(1, 33),
+    )
+    def test_property_columnar_matches_rtree_and_legacy(
+        self, seed, n_objects, m, tau, chunk_size
+    ):
+        # Random fleets with every other object degenerate (a single
+        # position, so a zero-area MBR), including the empty fleet.
+        rng = np.random.default_rng(seed)
+        objects = make_objects(rng, n_objects, n_range=(1, 12))
+        objects = [
+            MovingObject(obj.object_id, obj.positions[:1])
+            if i % 2 == 0
+            else obj
+            for i, obj in enumerate(objects)
+        ]
+        candidates = make_candidates(rng, m)
+        cand_xy = np.array([(c.x, c.y) for c in candidates])
+        pf = PowerLawPF(rho=0.9, lam=1.0)
+        table = ObjectTable(objects, pf, tau)
+
+        ia, band = stacked_table_chunks(table, cand_xy, chunk_size)
+        assert not np.any(ia & band)
+
+        # Legacy chunked-scan path on the same entries.
+        legacy_ia, legacy_band = classify_chunk(table.entries, cand_xy)
+        if table.live_count == 0:
+            legacy_ia = legacy_ia.reshape(0, m)
+            legacy_band = legacy_band.reshape(0, m)
+        np.testing.assert_array_equal(ia, legacy_ia.astype(bool))
+        np.testing.assert_array_equal(band, legacy_band.astype(bool))
+
+        # Per-object R-tree path.
+        rtree = RTree.bulk_load(cand_xy)
+        for i, entry in enumerate(table.entries):
+            outcome = classify_candidates(entry, cand_xy, rtree)
+            assert sorted(np.nonzero(ia[i])[0].tolist()) == sorted(
+                outcome.certain.tolist()
+            )
+            assert sorted(np.nonzero(band[i])[0].tolist()) == sorted(
+                outcome.maybe.tolist()
+            )
 
 
 class TestEdgeCases:
