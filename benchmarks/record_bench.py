@@ -41,11 +41,19 @@ p99 bound with a non-empty shed count, and traced pool p50 within
 ``--ladder`` switches to the object-count scale ladder instead:
 10³ → 10⁶ objects at constant spatial density, measuring the columnar
 IA/NIB classification kernel against the legacy per-entry path (with
-a chunk-wise bit-identity gate), warm-serial query latency, and a
-pool worker sweep per rung — written to ``BENCH_6.json`` +
-``results/engine_scale_ladder.txt``.  ``--ladder-smoke`` (the
-``make bench-ladder`` CI step) runs only the two small rungs and
-exits non-zero on any kernel mismatch.
+a chunk-wise bit-identity gate), warm-serial query latency, a pool
+worker sweep, and the process's peak RSS per rung — written to
+``BENCH_6.json`` + ``results/engine_scale_ladder.txt``.
+``--ladder-smoke`` (the ``make bench-ladder`` CI step) runs only the
+two small rungs and exits non-zero on any kernel mismatch.
+
+``--approx`` runs the approximate-tier scenario at the 10⁵-object
+rung: the workload offered at 4× admission pressure to an
+``approx=True`` engine must shed nothing (over-budget arrivals are
+answered from the influence sketch), every approximate answer's
+measured error must stay within its advertised bound, and the approx
+per-query latency must beat warm-serial exact by ≥ 10× — written to
+``BENCH_7.json`` + ``results/engine_approx_tier.txt``.
 """
 
 from __future__ import annotations
@@ -54,6 +62,7 @@ import argparse
 import json
 import math
 import os
+import resource
 import sys
 import tempfile
 import time
@@ -442,6 +451,18 @@ def timed_query_pass(engine, cand_sets, pf, tau, algorithm) -> list[float]:
     return latencies
 
 
+def peak_rss_mb() -> float:
+    """The process's lifetime peak resident set size, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux; the value is monotone over the
+    process lifetime, so per-rung readings show which rung first pushed
+    the high-water mark up.
+    """
+    return round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+    )
+
+
 def run_ladder_rung(
     n_objects: int,
     n_candidates: int,
@@ -516,6 +537,7 @@ def run_ladder_rung(
         "extent_km": round(extent, 1),
         "fleet_build_s": round(fleet_s, 3),
         "table_build_s": round(table_build_s, 3),
+        "peak_rss_mb": peak_rss_mb(),
         "classification": micro,
         "scenarios": scenarios,
         "comparisons": comparisons,
@@ -589,7 +611,7 @@ def render_ladder(payload: dict) -> str:
     table = TextTable(
         [
             "objects", "cands", "columnar ms", "legacy ms", "kernel x",
-            "serial p50", "pool p50", "pool x",
+            "serial p50", "pool p50", "pool x", "peak rss MB",
         ]
     )
     for r in payload["rungs"]:
@@ -605,6 +627,7 @@ def render_ladder(payload: dict) -> str:
                 r["scenarios"]["warm-serial"]["p50_ms"],
                 pool_p50,
                 r["comparisons"].get("pool_vs_serial_p50"),
+                r.get("peak_rss_mb"),
             ],
             float_fmt="{:.2f}",
         )
@@ -659,6 +682,223 @@ def main_ladder(args) -> int:
         f"{results_dir / 'engine_scale_ladder.txt'}"
     )
     return 0 if payload["targets"]["bit_identical"] else 1
+
+
+# ----------------------------------------------------------------------
+# Approximate tier (BENCH_7.json)
+# ----------------------------------------------------------------------
+
+APPROX_N_OBJECTS = 100_000
+APPROX_N_CANDIDATES = 1_000
+APPROX_N_QUERIES = 8
+
+
+def run_approx_scenario(
+    n_objects: int = APPROX_N_OBJECTS,
+    n_candidates: int = APPROX_N_CANDIDATES,
+    n_queries: int = APPROX_N_QUERIES,
+    seed: int = LADDER_SEED,
+) -> dict:
+    """The approximate tier under 4× admission pressure at the 10⁵ rung.
+
+    Two passes over the same fleet and distinct candidate sets, both
+    with the full-influence-table ``PIN`` algorithm (so every query
+    reports per-candidate influence, giving the error check its ground
+    truth for free):
+
+    * **exact** — a plain warm engine; its per-query latency is the
+      warm-serial baseline and its influence tables are the exact
+      reference,
+    * **approx** — an ``approx=True`` engine with ``max_inflight=1``
+      and injected ``overload`` phantom load on three of every four
+      queries (4× the admission budget in aggregate): the overloaded
+      arrivals must be answered from the sketch instead of shed.
+
+    Acceptance: zero sheds, every approximate answer's measured error
+    within its advertised bound, and approx p50 ≥ 10× below the exact
+    warm-serial p50.
+    """
+    algorithm = "PIN"
+    tau = LADDER_TAU
+    pf = PowerLawPF()
+    objects = make_ladder_fleet(n_objects, seed)
+    extent = ladder_extent(n_objects)
+    rng = np.random.default_rng(seed + 1)
+    prime_set = make_ladder_candidates(rng, extent, n_candidates, 1)[0]
+    cand_sets = make_ladder_candidates(
+        rng, extent, n_candidates, n_queries
+    )
+
+    exact_latencies, exact_tables = [], []
+    engine = QueryEngine(objects)
+    try:
+        engine.query(prime_set, pf=pf, tau=tau, algorithm=algorithm)
+        for cands in cand_sets:
+            started = time.perf_counter()
+            res = engine.query(cands, pf=pf, tau=tau, algorithm=algorithm)
+            exact_latencies.append(
+                (time.perf_counter() - started) * 1000.0
+            )
+            exact_tables.append(res.influences)
+    finally:
+        engine.close()
+
+    # The priming query consumes id 0; phantom overload hits the
+    # measured ids 1.. except every fourth, which runs exact.
+    faults = [
+        FaultSpec(kind="overload", query=1 + i, times=1)
+        for i in range(n_queries)
+        if i % 4 != 0
+    ]
+    approx_latencies, exact_tier_latencies = [], []
+    errors, bounds, sketch_builds = [], [], 0
+    shed = 0
+    engine = QueryEngine(
+        objects,
+        approx=True,
+        max_inflight=1,
+        fault_injector=FaultInjector(faults),
+    )
+    try:
+        engine.query(prime_set, pf=pf, tau=tau, algorithm=algorithm)
+        for i, cands in enumerate(cand_sets):
+            started = time.perf_counter()
+            try:
+                res = engine.query(
+                    cands, pf=pf, tau=tau, algorithm=algorithm
+                )
+            except QueryShedError:
+                shed += 1
+                continue
+            latency = (time.perf_counter() - started) * 1000.0
+            record = engine.metrics_log[-1]
+            if record["tier"] == "approx":
+                approx_latencies.append(latency)
+                err = max(
+                    abs(res.influences[j] - exact_tables[i][j])
+                    for j in range(n_candidates)
+                )
+                errors.append(int(err))
+                bounds.append(float(res.error_bound))
+            else:
+                exact_tier_latencies.append(latency)
+        shed += engine.stats.queries_shed
+        sketch_builds = engine.stats.sketch_misses
+        k = engine.approx_k
+        delta = engine.approx_delta
+    finally:
+        engine.close()
+
+    exact = latency_stats(exact_latencies)
+    approx = latency_stats(approx_latencies)
+    speedup = (
+        round(exact["p50_ms"] / approx["p50_ms"], 1)
+        if approx["p50_ms"] else None
+    )
+    within = [e <= b for e, b in zip(errors, bounds)]
+    return {
+        "bench": "approx-tier",
+        "workload": {
+            "n_objects": n_objects,
+            "n_candidates": n_candidates,
+            "n_queries": n_queries,
+            "algorithm": algorithm,
+            "tau": tau,
+            "seed": seed,
+            "sketch_k": k,
+            "sketch_delta": delta,
+            "pressure": "4x",
+        },
+        "scenarios": {
+            "warm-serial-exact": exact,
+            "approx": approx,
+        },
+        "approx": {
+            "offered": n_queries,
+            "answered_approx": len(approx_latencies),
+            "answered_exact": len(exact_tier_latencies),
+            "shed": shed,
+            "sketch_builds": sketch_builds,
+            "max_error": max(errors) if errors else None,
+            "mean_error": (
+                round(float(np.mean(errors)), 1) if errors else None
+            ),
+            "advertised_bound": round(max(bounds), 1) if bounds else None,
+            "errors_within_bound": all(within) if within else None,
+        },
+        "comparisons": {
+            "approx_vs_exact_p50": speedup,
+        },
+        "targets": {
+            "zero_sheds": shed == 0,
+            "errors_within_bound": bool(within) and all(within),
+            "speedup_target": 10.0,
+            "speedup_met": speedup is not None and speedup >= 10.0,
+        },
+    }
+
+
+def render_approx(payload: dict) -> str:
+    """The approx summary archived to ``results/engine_approx_tier.txt``."""
+    s = payload["scenarios"]
+    a = payload["approx"]
+    w = payload["workload"]
+    t = payload["targets"]
+    table = TextTable(["pass", "queries", "p50 ms", "p95 ms", "mean ms"])
+    for name in ("warm-serial-exact", "approx"):
+        table.add_row(
+            [name, s[name]["queries"], s[name]["p50_ms"],
+             s[name]["p95_ms"], s[name]["mean_ms"]],
+            float_fmt="{:.2f}",
+        )
+    return "\n".join([
+        table.render(
+            title=(
+                f"approx tier: {w['n_objects']} objects x "
+                f"{w['n_candidates']} candidates, {w['algorithm']}, "
+                f"k={w['sketch_k']}, {w['pressure']} admission pressure"
+            )
+        ),
+        (
+            f"pressure: {a['offered']} offered, "
+            f"{a['answered_approx']} answered approximately, "
+            f"{a['answered_exact']} exactly, {a['shed']} shed "
+            f"(target 0: {t['zero_sheds']})"
+        ),
+        (
+            f"accuracy: max measured error {a['max_error']} objects "
+            f"(mean {a['mean_error']}) vs advertised bound "
+            f"{a['advertised_bound']} — within bound on every answer: "
+            f"{t['errors_within_bound']}"
+        ),
+        (
+            f"latency: approx p50 "
+            f"{payload['comparisons']['approx_vs_exact_p50']}x below "
+            f"warm-serial exact (target >= {t['speedup_target']}x, met: "
+            f"{t['speedup_met']})"
+        ),
+    ])
+
+
+def main_approx(args) -> int:
+    """Run the approximate-tier scenario and write its artifacts."""
+    payload = run_approx_scenario()
+    text = render_approx(payload)
+    print(text)
+    Path(args.out_approx).write_text(json.dumps(payload, indent=2) + "\n")
+    results_dir = ROOT / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "engine_approx_tier.txt").write_text(text + "\n")
+    print(f"\nJSON written to {args.out_approx}")
+    print(
+        f"approx summary archived to "
+        f"{results_dir / 'engine_approx_tier.txt'}"
+    )
+    t = payload["targets"]
+    ok = t["zero_sheds"] and t["errors_within_bound"] and t["speedup_met"]
+    if not ok:
+        print("approx-tier acceptance missed", file=sys.stderr)
+    return 0 if ok else 1
 
 
 def render(payload: dict) -> str:
@@ -790,10 +1030,21 @@ def main(argv=None) -> int:
         "--out-ladder", default=str(ROOT / "BENCH_6.json"),
         help="where to write the scale-ladder JSON payload",
     )
+    parser.add_argument(
+        "--approx", action="store_true",
+        help="run the approximate-tier scenario at the 10^5-object "
+        "rung instead and write BENCH_7.json",
+    )
+    parser.add_argument(
+        "--out-approx", default=str(ROOT / "BENCH_7.json"),
+        help="where to write the approximate-tier JSON payload",
+    )
     args = parser.parse_args(argv)
 
     if args.ladder or args.ladder_smoke:
         return main_ladder(args)
+    if args.approx:
+        return main_approx(args)
 
     payload = run_scenarios(
         n_queries=args.queries,

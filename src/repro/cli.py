@@ -177,6 +177,7 @@ def _cmd_serve_bench(
     breaker: int | None = None,
     trace: str | None = None,
     metrics_port: int | None = None,
+    approx: bool = False,
 ) -> int:
     """Run the warm-vs-cold serving benchmark (see repro.engine.bench)."""
     from repro.engine import SHED_POLICIES, FaultSpec, run_serve_bench
@@ -267,6 +268,7 @@ def _cmd_serve_bench(
         breaker_threshold=breaker,
         trace_path=trace,
         metrics_port=metrics_port,
+        approx=approx,
     )
     print(result.render())
     if out_csv:
@@ -283,7 +285,7 @@ _ALLOWED_FLAGS = {
     "serve-bench": {
         "--csv", "--queries", "--workers", "--deadline", "--inject-fault",
         "--pool", "--batch", "--max-inflight", "--shed-policy", "--breaker",
-        "--trace", "--metrics-port",
+        "--trace", "--metrics-port", "--approx",
     },
     "trace-summary": set(),
     "list": set(),
@@ -368,10 +370,11 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="SPEC",
         help=(
-            "with 'serve-bench': inject a worker fault, "
+            "with 'serve-bench': inject a fault, "
             "KIND[:WORKER[:QUERY[:SECONDS]]] with KIND one of "
-            "crash/exception/delay and '*' meaning any "
-            "(e.g. crash:1, delay:0:*:0.5); repeatable"
+            "crash/exception/delay (worker kinds) or "
+            "overload/memory-pressure/exact-down (parent kinds) and "
+            "'*' meaning any (e.g. crash:1, exact-down::2); repeatable"
         ),
     )
     parser.add_argument(
@@ -445,6 +448,18 @@ def main(argv: list[str] | None = None) -> int:
             "duration (0 = ephemeral port)"
         ),
     )
+    parser.add_argument(
+        "--approx",
+        action="store_true",
+        default=False,
+        help=(
+            "with 'serve-bench': arm the warm engine's approximate "
+            "tier — queries shed by admission, or stranded by open "
+            "exact-tier breakers (inject with "
+            "--inject-fault exact-down), are answered from influence "
+            "sketches with an advertised error bound"
+        ),
+    )
     args = parser.parse_args(argv)
 
     provided = set()
@@ -474,6 +489,8 @@ def main(argv: list[str] | None = None) -> int:
         provided.add("--trace")
     if args.metrics_port is not None:
         provided.add("--metrics-port")
+    if args.approx:
+        provided.add("--approx")
     is_experiment = args.experiment in registry
     code = _check_flags(args.experiment, provided, is_experiment)
     if code:
@@ -509,6 +526,7 @@ def main(argv: list[str] | None = None) -> int:
             breaker=args.breaker,
             trace=args.trace,
             metrics_port=args.metrics_port,
+            approx=args.approx,
         )
     if args.experiment == "report":
         from repro.experiments.report import generate_report

@@ -16,7 +16,10 @@ Contents map directly onto the paper:
 * :mod:`repro.core.pinocchio_vo` — Algorithm 3 (PINOCCHIO-VO) and the
   PIN-VO* variant without the pruning phase,
 * :mod:`repro.core.incremental` — the incremental-maintenance
-  extension sketched as future work in §7.
+  extension sketched as future work in §7,
+* :mod:`repro.core.sketch` — bottom-k influence sketches: sublinear
+  approximate ``inf(c)`` with a provable error bound (the serving
+  engine's approximate tier).
 """
 
 from repro.core.minmax_radius import MinMaxRadiusCache, min_max_radius
@@ -42,6 +45,13 @@ from repro.core.portfolio import (
     influence_bitsets,
 )
 from repro.core.uncertain import UncertainPrimeLS, UncertainResult
+from repro.core.sketch import (
+    DEFAULT_SKETCH_DELTA,
+    DEFAULT_SKETCH_K,
+    DEFAULT_SKETCH_SEED,
+    InfluenceEstimate,
+    InfluenceSketch,
+)
 
 __all__ = [
     "WeightedPrimeLS",
@@ -69,4 +79,9 @@ __all__ = [
     "PinocchioVO",
     "PinocchioVOStar",
     "IncrementalPrimeLS",
+    "InfluenceSketch",
+    "InfluenceEstimate",
+    "DEFAULT_SKETCH_K",
+    "DEFAULT_SKETCH_DELTA",
+    "DEFAULT_SKETCH_SEED",
 ]

@@ -148,6 +148,14 @@ class LSResult:
     influences: dict[int, int]
     elapsed_seconds: float
     instrumentation: Instrumentation = field(default_factory=Instrumentation)
+    #: "exact" for every algorithm result; "approx" when the serving
+    #: engine answered from an influence sketch (the influences are
+    #: then estimates, not exact counts)
+    quality: str = "exact"
+    #: absolute error bound advertised with an approximate answer
+    #: (``|estimate - inf(c)| <= error_bound`` for every candidate,
+    #: with the sketch's confidence); ``None`` on exact results
+    error_bound: float | None = None
 
     def ranking(self) -> list[tuple[int, int]]:
         """Candidate indexes sorted by influence (descending), ties by index."""
@@ -172,6 +180,8 @@ class LSResult:
             "best_influence": self.best_influence,
             "influences": {str(k): v for k, v in self.influences.items()},
             "elapsed_seconds": self.elapsed_seconds,
+            "quality": self.quality,
+            "error_bound": self.error_bound,
             "instrumentation": asdict(self.instrumentation),
         }
 

@@ -20,7 +20,8 @@
   with pluggable shedding policies and typed
   :class:`~repro.engine.admission.QueryShed` outcomes,
 * :mod:`repro.engine.breaker` — per-tier circuit breakers and the
-  lossless pool → fork → serial degradation ladder,
+  lossless pool → fork → serial degradation ladder (plus the
+  ``approx`` sketch-serving floor on ``approx=True`` engines),
 * :mod:`repro.engine.cache` — bounded-memory LRU caches and the
   engine-level :class:`~repro.engine.cache.CacheBudget`,
 * :mod:`repro.engine.bench` — the warm-vs-cold serving benchmark
@@ -37,6 +38,7 @@ from repro.engine.admission import (
 )
 from repro.engine.bench import ServeBenchResult, run_serve_bench
 from repro.engine.breaker import (
+    EXACT_TIERS,
     TIERS,
     BreakerConfig,
     CircuitBreaker,
@@ -100,6 +102,7 @@ __all__ = [
     "CircuitBreaker",
     "DegradationLadder",
     "TIERS",
+    "EXACT_TIERS",
     "CacheBudget",
     "LRUCache",
 ]

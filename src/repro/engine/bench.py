@@ -56,6 +56,12 @@ class ServeBenchResult:
     n_candidates: int
     pool: bool = False
     batch: bool = False
+    #: the warm engine served with the approximate (sketch) tier armed
+    approx: bool = False
+    #: warm queries answered by the approximate tier
+    approx_queries: int = 0
+    #: influence sketches built (sketch-cache misses)
+    sketch_builds: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     worker_failures: int = 0
@@ -145,6 +151,12 @@ class ServeBenchResult:
             f"{self.cache_evictions} cache evictions, "
             f"final tier {self.final_tier}"
         )
+        if self.approx:
+            # the approx chaos drill greps this line
+            lines.append(
+                f"approx: {self.approx_queries} queries answered "
+                f"approximately, {self.sketch_builds} sketch build(s)"
+            )
         if self.trace_path is not None or self.metrics_port is not None:
             parts = []
             if self.trace_path is not None:
@@ -178,6 +190,7 @@ def run_serve_bench(
     breaker_threshold: int | None = None,
     trace_path=None,
     metrics_port: int | None = None,
+    approx: bool = False,
 ) -> ServeBenchResult:
     """Measure warm (engine) versus cold (stateless) query latency.
 
@@ -218,6 +231,13 @@ def run_serve_bench(
     the bench's duration (0 binds an ephemeral port; the bound port is
     reported on the result).  Both leave warm results bit-identical —
     they only observe.
+
+    ``approx`` arms the warm engine's approximate tier
+    (``QueryEngine(approx=True)``): queries that would be shed by
+    admission control, or that find every exact tier's breaker open
+    (the ``exact-down`` fault kind), are answered from the influence
+    sketch instead — labelled, bounded, and counted on the trailing
+    ``approx:`` summary line.
     """
     world = gowalla_like(scale=scale, seed=seed)
     objects = world.dataset.objects
@@ -242,6 +262,7 @@ def run_serve_bench(
         n_candidates=len(cand_sets[0]) if cand_sets else 0,
         pool=pool,
         batch=batch,
+        approx=approx,
         max_inflight=max_inflight,
         shed_policy=shed_policy,
         trace_path=str(trace_path) if trace_path is not None else None,
@@ -272,6 +293,7 @@ def run_serve_bench(
             if breaker_threshold is not None else None
         ),
         trace_path=trace_path,
+        approx=approx,
     )
     server = None
     if metrics_port is not None:
@@ -323,6 +345,8 @@ def run_serve_bench(
         result.spans_dispatched = engine.stats.spans_dispatched
         result.pool_respawns = engine.stats.pool_respawns
         result.queries_shed = engine.stats.queries_shed
+        result.approx_queries = engine.stats.approx_queries
+        result.sketch_builds = engine.stats.sketch_misses
         result.breaker_trips = engine.stats.breaker_trips
         result.cache_evictions = engine._total_evictions()
         result.final_tier = engine.health()["tier"]

@@ -15,13 +15,20 @@ in a :class:`CircuitBreaker` with the classic three states:
   re-opens it.
 
 :class:`DegradationLadder` stacks the breakers into the engine's tier
-order ``pool → fork → serial``: a query executes on the highest tier
-whose breaker admits it, so repeated pool failures deterministically
-walk the ladder down and self-heal back up, while every completed
-query stays bit-identical to serial execution (the lower tiers compute
-the same answer — that is the whole point of the ladder being
-*lossless*).  Serial is the floor and never breaks: the engine always
-answers, it just answers with less parallelism.
+order ``pool → fork → serial → approx``: a query executes on the
+highest tier whose breaker admits it, so repeated pool failures
+deterministically walk the ladder down and self-heal back up, while
+every completed *exact* tier stays bit-identical to serial execution
+(the lower exact tiers compute the same answer — the ladder is
+*lossless* down to serial).  By default serial is the floor and never
+breaks: the engine always answers, it just answers with less
+parallelism.  An engine built with an approximate floor
+(``approx_floor=True``, the serving engine's ``approx=True``) instead
+gives serial a breaker too and adds one rung below it: ``approx``
+serves sketch-based estimates with an advertised error bound — the
+only tier that trades accuracy, and the only one that can never break
+(the engine always answers *something*, exact if any exact tier
+stands, labelled-approximate otherwise).
 
 Within a query, the supervisors in :mod:`repro.engine.parallel` and
 :mod:`repro.engine.pool` feed per-shard failures into the active
@@ -41,8 +48,13 @@ OPEN = "open"
 HALF_OPEN = "half-open"
 
 #: the engine's execution tiers, fastest first; "serial" is the
-#: unbreakable floor
-TIERS = ("pool", "fork", "serial")
+#: unbreakable floor of the exact tiers, "approx" the sketch-serving
+#: rung below it (only selectable on an engine with an approximate
+#: floor, and never circuit-broken itself)
+TIERS = ("pool", "fork", "serial", "approx")
+
+#: the tiers that compute exact answers
+EXACT_TIERS = ("pool", "fork", "serial")
 
 
 @dataclass(frozen=True)
@@ -154,6 +166,17 @@ class CircuitBreaker:
             ):
                 self._state = CLOSED
 
+    def force_open(self) -> None:
+        """Trip the breaker administratively (chaos drills, operators).
+
+        An already-open breaker has its recovery window restarted, so
+        repeated drills keep the tier down without re-counting trips.
+        """
+        if self.state == OPEN:
+            self._opened_at = self._clock()
+        else:
+            self._trip()
+
     def snapshot(self) -> dict:
         """Health-probe view of this breaker."""
         return {
@@ -165,24 +188,31 @@ class CircuitBreaker:
 
 
 class DegradationLadder:
-    """The engine's tier stack: pool → fork → serial, circuit-broken.
+    """The engine's tier stack: pool → fork → serial(→ approx).
 
     One breaker per breakable tier; :meth:`select` returns the highest
-    *available* tier whose breaker admits the query.  ``serial`` has no
-    breaker — it is the lossless floor every query can always fall
-    back to.
+    *available* tier whose breaker admits the query.  Without an
+    approximate floor ``serial`` has no breaker — it is the lossless
+    floor every query can always fall back to.  With
+    ``approx_floor=True`` serial is circuit-broken like the tiers
+    above it and ``approx`` becomes the (unbreakable) floor: the
+    engine keeps answering, labelled approximate, while every exact
+    tier is down.
     """
 
     def __init__(
         self,
         config: BreakerConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
+        approx_floor: bool = False,
     ):
         self.config = config or BreakerConfig()
+        self.approx_floor = bool(approx_floor)
+        self.floor = "approx" if self.approx_floor else "serial"
         self.breakers: dict[str, CircuitBreaker] = {
             tier: CircuitBreaker(tier, self.config, clock)
-            for tier in TIERS
-            if tier != "serial"
+            for tier in EXACT_TIERS
+            if self.approx_floor or tier != "serial"
         }
 
     def select(self, available: tuple[str, ...]) -> str:
@@ -190,13 +220,19 @@ class DegradationLadder:
 
         ``available`` is the ordered subset of :data:`TIERS` this query
         could use (e.g. no "pool" entry on an engine without a pool);
-        it must end with ``"serial"``.
+        it must end with the ladder's floor tier.
         """
         for tier in available:
             breaker = self.breakers.get(tier)
             if breaker is None or breaker.allow():
                 return tier
-        return "serial"
+        return self.floor
+
+    def trip_exact_tiers(self) -> None:
+        """Force-open every exact tier's breaker (the ``exact-down``
+        chaos fault) — the next queries land on the ladder's floor."""
+        for breaker in self.breakers.values():
+            breaker.force_open()
 
     def record(self, tier: str, ok: bool) -> None:
         """Feed one query's outcome into its tier's breaker."""

@@ -45,6 +45,11 @@ class CacheBudget:
     max_prunings: int = 128
     #: byte ceiling across all cached pruning outputs
     max_pruning_bytes: int = 64 * 2**20
+    #: per-(PF, τ) influence sketches serving the approximate tier
+    max_sketches: int = 16
+    #: byte ceiling across all cached sketches (position blocks
+    #: dominate; ~k x ~12 positions x 16 bytes each)
+    max_sketch_bytes: int = 32 * 2**20
     #: in-memory JSONL record copies kept on the engine (the JSONL
     #: *file* stays append-only and is never truncated)
     max_records: int = 10_000
@@ -52,7 +57,8 @@ class CacheBudget:
     def __post_init__(self):
         for name in (
             "max_tables", "max_candidate_sets", "max_rtrees",
-            "max_prunings", "max_pruning_bytes", "max_records",
+            "max_prunings", "max_pruning_bytes", "max_sketches",
+            "max_sketch_bytes", "max_records",
         ):
             if getattr(self, name) < 1:
                 raise ValueError(

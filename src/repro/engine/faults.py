@@ -11,12 +11,14 @@ This module supplies that machinery:
   injector is consulted by :mod:`repro.engine.parallel` inside each
   forked worker, immediately before the shard task runs; worker faults
   never fire in the parent process, so the retry and degrade-to-serial
-  paths are fault-free by construction.  Two *parent-side* kinds drive
+  paths are fault-free by construction.  The *parent-side* kinds drive
   the overload-resilience layer instead of workers: ``overload``
   saturates the engine's admission budget with phantom in-flight load
-  (forcing typed :class:`~repro.engine.admission.QueryShed` outcomes)
-  and ``memory-pressure`` trims every engine cache to one entry
-  (forcing evictions) — see :meth:`FaultInjector.parent_faults`.
+  (forcing typed :class:`~repro.engine.admission.QueryShed` outcomes),
+  ``memory-pressure`` trims every engine cache to one entry (forcing
+  evictions), and ``exact-down`` force-opens every exact tier's
+  breaker (driving an approx-enabled engine onto its approximate
+  floor) — see :meth:`FaultInjector.parent_faults`.
 * :class:`SupervisorPolicy` — the retry/backoff knobs the supervisor
   in :func:`repro.engine.parallel.run_sharded` obeys.
 * :class:`SupervisorReport` — what actually happened to one query's
@@ -44,8 +46,11 @@ WORKER_FAULT_KINDS = ("crash", "exception", "delay")
 #: fault kinds that fire in the parent, at the engine's admission
 #: boundary: "overload" injects phantom in-flight load so admission
 #: control sheds real queries, "memory-pressure" trims every engine
-#: cache to one entry so eviction paths run on demand
-PARENT_FAULT_KINDS = ("overload", "memory-pressure")
+#: cache to one entry so eviction paths run on demand, and
+#: "exact-down" force-opens every exact tier's circuit breaker (pool,
+#: fork, and — on an approx-enabled engine — serial) so the chaos
+#: drill for the approximate floor is deterministic
+PARENT_FAULT_KINDS = ("overload", "memory-pressure", "exact-down")
 
 #: every fault kind the injector understands
 FAULT_KINDS = WORKER_FAULT_KINDS + PARENT_FAULT_KINDS

@@ -59,6 +59,12 @@ from repro.core.object_table import ObjectTable, fleet_to_columnar
 from repro.core.pinocchio import Pinocchio
 from repro.core.pinocchio_vo import PinocchioVO
 from repro.core.result import Instrumentation, LSResult, full_table_result
+from repro.core.sketch import (
+    DEFAULT_SKETCH_DELTA,
+    DEFAULT_SKETCH_K,
+    DEFAULT_SKETCH_SEED,
+    InfluenceSketch,
+)
 from repro.engine.admission import (
     AdmissionController,
     QueryShed,
@@ -105,6 +111,11 @@ class EngineStats:
     rtree_misses: int = 0
     pruning_hits: int = 0
     pruning_misses: int = 0
+    #: influence-sketch cache traffic (a miss is a sketch build)
+    sketch_hits: int = 0
+    sketch_misses: int = 0
+    #: queries answered from the approximate tier (labelled, bounded)
+    approx_queries: int = 0
     #: worker shard dispatches that died or raised, across all queries
     worker_failures: int = 0
     #: shard re-dispatches performed after worker failures
@@ -131,6 +142,7 @@ class EngineStats:
     candidate_evictions: int = 0
     rtree_evictions: int = 0
     pruning_evictions: int = 0
+    sketch_evictions: int = 0
     #: admission size of every ``query_batch`` call, in call order
     batch_sizes: list[int] = field(default_factory=list)
 
@@ -138,7 +150,7 @@ class EngineStats:
     def hits(self) -> int:
         return (
             self.table_hits + self.candidate_hits
-            + self.rtree_hits + self.pruning_hits
+            + self.rtree_hits + self.pruning_hits + self.sketch_hits
         )
 
     @property
@@ -146,6 +158,7 @@ class EngineStats:
         return (
             self.table_misses + self.candidate_misses
             + self.rtree_misses + self.pruning_misses
+            + self.sketch_misses
         )
 
     def as_dict(self) -> dict:
@@ -254,6 +267,11 @@ class QueryEngine:
     #: worker processes (PIN-VO* inherits from PIN-VO)
     PARALLEL_ALGORITHMS = ("NA", "PIN", "PIN-VO", "PIN-VO*")
 
+    #: algorithms the approximate tier can answer for — everything
+    #: whose result is the per-candidate influence count that an
+    #: :class:`~repro.core.sketch.InfluenceSketch` estimates
+    APPROX_ALGORITHMS = ("NA", "PIN", "PIN-VO", "PIN-VO*")
+
     def __init__(
         self,
         objects: Sequence[MovingObject],
@@ -271,9 +289,19 @@ class QueryEngine:
         cache_budget: CacheBudget | None = None,
         trace_path: str | Path | None = None,
         tracing: bool | None = None,
+        approx: bool = False,
+        approx_k: int = DEFAULT_SKETCH_K,
+        approx_delta: float = DEFAULT_SKETCH_DELTA,
+        approx_seed: int = DEFAULT_SKETCH_SEED,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if approx_k < 1:
+            raise ValueError(f"approx_k must be >= 1, got {approx_k}")
+        if not 0.0 < approx_delta < 1.0:
+            raise ValueError(
+                f"approx_delta must be in (0, 1), got {approx_delta}"
+            )
         if max_inflight is None and max_queue_depth is not None:
             raise ValueError(
                 "max_queue_depth requires max_inflight (admission "
@@ -323,6 +351,20 @@ class QueryEngine:
             max_bytes=budget.max_pruning_bytes,
             sizeof=_pruning_nbytes,
         )
+        #: the approximate tier: serve sketch-based estimates (labelled,
+        #: with an advertised error bound) instead of shedding when
+        #: admission overflows or every exact tier's breaker is open
+        self.approx = bool(approx)
+        self.approx_k = int(approx_k)
+        self.approx_delta = float(approx_delta)
+        self.approx_seed = int(approx_seed)
+        #: (pf, tau) -> InfluenceSketch for the approximate tier
+        self._sketches: LRUCache = LRUCache(
+            "sketches",
+            max_entries=budget.max_sketches,
+            max_bytes=budget.max_sketch_bytes,
+            sizeof=lambda sketch: sketch.nbytes,
+        )
         #: admission control; ``None`` (the default) admits everything
         self.admission = (
             AdmissionController(
@@ -332,8 +374,12 @@ class QueryEngine:
             )
             if max_inflight is not None else None
         )
-        #: the circuit-broken pool → fork → serial degradation ladder
-        self.ladder = DegradationLadder(breaker or BreakerConfig())
+        #: the circuit-broken pool → fork → serial(→ approx)
+        #: degradation ladder; with ``approx=True`` serial gets a
+        #: breaker too and the sketch tier becomes the floor
+        self.ladder = DegradationLadder(
+            breaker or BreakerConfig(), approx_floor=self.approx
+        )
         #: per-query span trees (``trace_path``/``tracing`` arm it;
         #: disabled it hands out the zero-cost no-op span)
         self.tracer = Tracer(trace_path, enabled=tracing)
@@ -384,12 +430,41 @@ class QueryEngine:
             self.stats.rtree_hits += 1
         return rtree
 
+    def sketch_for(
+        self, pf: ProbabilityFunction, tau: float
+    ) -> InfluenceSketch:
+        """The influence sketch for ``(pf, τ)``, built once and memoised.
+
+        Serves the approximate tier; the build reads the (cached)
+        object table's columnar export, so a sketch miss may also
+        count a table hit/miss.  Keyed by the sketch knobs too, so
+        reconfigured engines never share stale samples.
+        """
+        key = (
+            _pf_key(pf), float(tau), self.approx_k, self.approx_seed,
+            self.approx_delta,
+        )
+        sketch = self._sketches.get(key)
+        if sketch is None:
+            self.stats.sketch_misses += 1
+            sketch = InfluenceSketch.build(
+                self.table_for(pf, tau),
+                k=self.approx_k,
+                seed=self.approx_seed,
+                delta=self.approx_delta,
+            )
+            self._sketches[key] = sketch
+        else:
+            self.stats.sketch_hits += 1
+        return sketch
+
     def cache_info(self) -> dict:
-        """Sizes of the four caches plus the hit/miss counters.
+        """Sizes of the five caches plus the hit/miss counters.
 
         ``prunings`` is the PIN-VO pruning-output cache — the one cache
         warm PIN-VO traffic actually exercises, so operators need to
         see it grow (regression-tested in tests/test_engine.py).
+        ``sketches`` only grows on approx-enabled engines.
         """
         self._sync_cache_stats()
         return {
@@ -397,11 +472,15 @@ class QueryEngine:
             "candidate_sets": len(self._cand_arrays),
             "rtrees": len(self._rtrees),
             "prunings": len(self._prunings),
+            "sketches": len(self._sketches),
             **self.stats.as_dict(),
         }
 
     def _caches(self) -> tuple[LRUCache, ...]:
-        return (self._tables, self._cand_arrays, self._rtrees, self._prunings)
+        return (
+            self._tables, self._cand_arrays, self._rtrees,
+            self._prunings, self._sketches,
+        )
 
     def _sync_cache_stats(self) -> None:
         """Mirror each cache's lifetime eviction count into the stats."""
@@ -409,6 +488,7 @@ class QueryEngine:
         self.stats.candidate_evictions = self._cand_arrays.evictions
         self.stats.rtree_evictions = self._rtrees.evictions
         self.stats.pruning_evictions = self._prunings.evictions
+        self.stats.sketch_evictions = self._sketches.evictions
 
     def _total_evictions(self) -> int:
         return sum(cache.evictions for cache in self._caches())
@@ -496,6 +576,27 @@ class QueryEngine:
             "Queries refused by admission control, by shed reason.",
             labels=("reason",),
         )
+        self._m_approx = reg.counter(
+            "pinls_approx_queries_total",
+            "Queries answered by the approximate (sketch) tier, by the "
+            "reason it was selected.",
+            labels=("reason",),
+        )
+        self._m_approx_latency = reg.histogram(
+            "pinls_approx_latency_seconds",
+            "Wall time of queries answered by the approximate tier.",
+            labels=("algorithm",),
+        )
+        self._m_approx_bound = reg.histogram(
+            "pinls_approx_error_bound",
+            "Advertised absolute error bound of approximate answers "
+            "(objects).",
+            buckets=(0.0, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0),
+        )
+        reg.counter(
+            "pinls_sketch_builds_total",
+            "Influence sketches built (sketch-cache misses).",
+        ).set_function(lambda: self.stats.sketch_misses)
         for name, help_text, fn in (
             ("pinls_worker_failures_total",
              "Worker shard dispatches that died or raised.",
@@ -545,6 +646,7 @@ class QueryEngine:
             (self._cand_arrays, "candidate_hits", "candidate_misses"),
             (self._rtrees, "rtree_hits", "rtree_misses"),
             (self._prunings, "pruning_hits", "pruning_misses"),
+            (self._sketches, "sketch_hits", "sketch_misses"),
         ):
             hits.set_function(
                 lambda f=hit_field: getattr(stats, f), cache=cache.name
@@ -780,6 +882,17 @@ class QueryEngine:
                 deadline_seconds, algorithm_kwargs, trace=trace,
             )
         if not self.admission.try_acquire(phantom=phantom):
+            if self.approx and algorithm in self.APPROX_ALGORITHMS:
+                # the approximate tier is the shed alternative: answer
+                # from the sketch (without an admission slot — the
+                # whole point is that the estimate is too cheap to
+                # need one) instead of refusing the query
+                admission_span.finish(admitted=False, approx=True)
+                return self._query_one(
+                    candidates, pf, tau, algorithm, workers,
+                    deadline_seconds, algorithm_kwargs, trace=trace,
+                    approx_reason="overload",
+                )
             admission_span.finish(admitted=False)
             shed = self._shed(
                 "queue-full", priority=priority, algorithm=algorithm,
@@ -805,8 +918,15 @@ class QueryEngine:
         deadline_seconds: float | None,
         algorithm_kwargs: dict,
         trace=NOOP_SPAN,
+        approx_reason: str | None = None,
     ) -> LSResult:
-        """One admitted query: validate, execute on a tier, account."""
+        """One admitted query: validate, execute on a tier, account.
+
+        ``approx_reason`` forces the approximate tier (the admission
+        paths pass ``"overload"``); ``None`` lets the degradation
+        ladder pick, which selects "approx" only when every exact
+        tier's breaker is open on an approx-enabled engine.
+        """
         started = time.perf_counter()
         if pf is None:
             if self._default_pf is None:
@@ -831,13 +951,24 @@ class QueryEngine:
         trace.set(query=self.stats.queries, tau=float(tau))
         evictions_before = self._total_evictions()
         try:
-            result, workers_used, tier = self._execute(
+            result, workers_used, tier, approx_reason = self._execute(
                 candidates, pf, tau, algorithm, workers, supervisor,
                 algorithm_kwargs, trace=trace,
+                approx_reason=approx_reason,
             )
         except DeadlineExceeded:
-            # a deadline overrun is a latency-budget decision, not a
-            # tier fault — it does not feed the tier's breaker
+            # A deadline overrun is a latency-budget decision, not a
+            # tier fault — except on an approx-enabled engine, where
+            # repeated overruns *are* the signal that walks the ladder
+            # onto the approximate floor (a tier that cannot answer in
+            # budget is down for serving purposes).
+            if self.approx:
+                # re-deriving the selection is deterministic: breaker
+                # states only moved through this same supervisor
+                tier = self.ladder.select(self._tier_candidates(workers))
+                if tier in self.ladder.breakers:
+                    self.ladder.record(tier, ok=False)
+                self.stats.breaker_trips = self.ladder.trips
             self._record_failure(
                 pf, tau, len(candidates), algorithm, supervisor, started,
                 trace=trace,
@@ -863,9 +994,12 @@ class QueryEngine:
         self._fold_report(report)
         self._sync_cache_stats()
         self.stats.queries += 1
+        if tier == "approx":
+            self.stats.approx_queries += 1
         self._record_metrics(
             result, pf, tau, len(candidates), workers_used,
             tier=tier, pooled=tier == "pool", trace=trace,
+            approx_reason=approx_reason,
         )
         return result
 
@@ -878,6 +1012,8 @@ class QueryEngine:
                 tiers.append("pool")
             tiers.append("fork")
         tiers.append("serial")
+        if self.approx:
+            tiers.append("approx")
         return tuple(tiers)
 
     def _apply_parent_faults(self, query_id: int | None) -> int:
@@ -893,6 +1029,9 @@ class QueryEngine:
                 )
             elif spec.kind == "memory-pressure":
                 self._shrink_caches()
+            elif spec.kind == "exact-down":
+                self.ladder.trip_exact_tiers()
+                self.stats.breaker_trips = self.ladder.trips
         return phantom
 
     def _shed(
@@ -959,22 +1098,34 @@ class QueryEngine:
         supervisor: Supervisor,
         algorithm_kwargs: dict,
         trace=NOOP_SPAN,
-    ) -> tuple[LSResult, int, str]:
+        approx_reason: str | None = None,
+    ) -> tuple[LSResult, int, str, str | None]:
         """Resolve one query through the caches and (maybe) workers.
 
-        Returns ``(result, workers_used, tier)``.  The execution tier
-        is chosen by the degradation ladder: the fastest tier this
-        query *could* use ("pool" needs ``pool=True`` and a picklable
-        PF, "fork" needs ``workers > 1`` and fork support) whose
-        circuit breaker currently admits queries.  The supervisor is
-        wired to that tier's breaker so in-query shard failures feed it
-        and retries stop the moment it trips.
+        Returns ``(result, workers_used, tier, approx_reason)``.  The
+        execution tier is chosen by the degradation ladder: the fastest
+        tier this query *could* use ("pool" needs ``pool=True`` and a
+        picklable PF, "fork" needs ``workers > 1`` and fork support)
+        whose circuit breaker currently admits queries.  The supervisor
+        is wired to that tier's breaker so in-query shard failures feed
+        it and retries stop the moment it trips.  On an approx-enabled
+        engine the ladder bottoms out at the sketch tier instead of
+        serial when every exact breaker is open; a non-``None``
+        ``approx_reason`` short-circuits straight to it.
         """
         # Deferred to dodge the repro <-> repro.engine import cycle:
         # the package re-exports QueryEngine from its __init__.
         from repro import make_algorithm
 
         plan_span = trace.child("plan")
+        if approx_reason is not None:
+            plan_span.finish(tier="approx")
+            trace.set(tier="approx")
+            cand_xy = self._cand_xy_for(candidates)
+            result = self._run_approx(
+                candidates, cand_xy, pf, tau, algorithm, trace=trace,
+            )
+            return result, 1, "approx", approx_reason
         solver = make_algorithm(algorithm, **algorithm_kwargs)
         solver.rtree_factory = self.rtree_for
         cand_xy = self._cand_xy_for(candidates)
@@ -987,12 +1138,20 @@ class QueryEngine:
                 available.append("pool")
             available.append("fork")
         available.append("serial")
+        if self.approx and algorithm in self.APPROX_ALGORITHMS:
+            available.append("approx")
         tier = self.ladder.select(tuple(available))
         supervisor.breaker = self.ladder.breakers.get(tier)
         parallel = tier in ("pool", "fork")
         pooled = tier == "pool"
         plan_span.finish(tier=tier)
         trace.set(tier=tier)
+
+        if tier == "approx":
+            result = self._run_approx(
+                candidates, cand_xy, pf, tau, algorithm, trace=trace,
+            )
+            return result, 1, "approx", "breakers"
 
         if isinstance(solver, PinocchioVO):
             result = self._query_vo(
@@ -1001,7 +1160,7 @@ class QueryEngine:
                 pooled=pooled, algorithm=algorithm,
                 algorithm_kwargs=algorithm_kwargs, trace=trace,
             )
-            return result, workers if parallel else 1, tier
+            return result, workers if parallel else 1, tier, None
 
         kind = None
         if parallel:
@@ -1018,20 +1177,20 @@ class QueryEngine:
                 workers, supervisor, algorithm, algorithm_kwargs,
                 trace=trace,
             )
-            return result, workers, "pool"
+            return result, workers, "pool", None
         if kind is not None:
             task = _pin_shard if kind == "pin" else _naive_shard
             result = self._run_parallel(
                 solver, task, table, candidates, cand_xy, pf, tau,
                 workers, supervisor, trace=trace,
             )
-            return result, workers, "fork"
+            return result, workers, "fork", None
         supervisor.check_deadline()
         if table is not None:
             solver.table_factory = lambda _objects, _pf, _tau: table
         with trace.child("dispatch", mode="serial"):
             result = solver.select(self.objects, candidates, pf, tau)
-        return result, 1, "serial"
+        return result, 1, "serial", None
 
     def _query_vo(
         self,
@@ -1115,6 +1274,54 @@ class QueryEngine:
                 table, candidates, cand_xy, pf, tau, counters, min_inf,
                 vs_indexes,
             )
+
+    def _run_approx(
+        self,
+        candidates: list[Candidate],
+        cand_xy: np.ndarray,
+        pf: ProbabilityFunction,
+        tau: float,
+        algorithm: str,
+        trace=NOOP_SPAN,
+    ) -> LSResult:
+        """Answer one query from the influence sketch (the approx tier).
+
+        O(k) work per candidate instead of O(total positions): the
+        (cached) sketch's sample runs the exact IA/NIB + Strategy-2
+        kernels and the hit counts are scaled to population estimates.
+        The result is labelled (``quality="approx"``) and carries the
+        sketch's advertised error bound for this query's candidate
+        count; its influence table holds the rounded estimates.
+        """
+        m = cand_xy.shape[0]
+        builds_before = self.stats.sketch_misses
+        sketch_started = time.perf_counter()
+        with trace.child("sketch") as sketch_span:
+            sketch = self.sketch_for(pf, tau)
+            sketch_span.set(
+                k=sketch.k,
+                population=sketch.population,
+                exact=sketch.exact,
+                cached=self.stats.sketch_misses == builds_before,
+            )
+        sketch_seconds = time.perf_counter() - sketch_started
+        counters = Instrumentation()
+        counters.pairs_total = sketch.population * m
+        bound = sketch.error_bound(m)
+        estimate_started = time.perf_counter()
+        with trace.child("estimate") as estimate_span:
+            estimates = sketch.estimate_many(cand_xy, counters)
+            estimate_span.set(bound=bound, sample_size=sketch.k)
+        estimate_seconds = time.perf_counter() - estimate_started
+        if sketch_seconds:
+            self._m_phase.inc(sketch_seconds, phase="sketch")
+        if estimate_seconds:
+            self._m_phase.inc(estimate_seconds, phase="estimate")
+        influence = np.rint(estimates).astype(np.int64)
+        result = full_table_result(algorithm, candidates, influence, counters)
+        result.quality = "exact" if sketch.exact else "approx"
+        result.error_bound = float(bound)
+        return result
 
     def _run_parallel(
         self,
@@ -1313,6 +1520,22 @@ class QueryEngine:
             # ids — the JSONL stream stays ordered by admission round.
             for index, reason in shed_pairs:
                 r = reqs[index]
+                if self.approx and r.algorithm in self.APPROX_ALGORITHMS:
+                    # approx-enabled engines answer over-budget batch
+                    # members from the sketch instead of refusing them
+                    trace = self.tracer.start(
+                        "query", algorithm=r.algorithm,
+                        batch_size=len(reqs),
+                    )
+                    trace.child("admission").finish(
+                        admitted=False, approx=True
+                    )
+                    slots[index] = self._query_one(
+                        list(r.candidates), r.pf, r.tau, r.algorithm,
+                        workers, deadline_seconds, r.algorithm_kwargs,
+                        trace=trace, approx_reason="overload",
+                    )
+                    continue
                 slots[index] = self._shed(
                     reason, priority=r.priority, algorithm=r.algorithm,
                     tau=r.tau, m=len(r.candidates),
@@ -1672,6 +1895,7 @@ class QueryEngine:
         pooled: bool = False,
         batch_size: int = 1,
         trace=NOOP_SPAN,
+        approx_reason: str | None = None,
     ) -> None:
         inst = result.instrumentation
         record = {
@@ -1684,6 +1908,9 @@ class QueryEngine:
             "candidates": m,
             "workers": workers_used,
             "tier": tier,
+            "quality": result.quality,
+            "error_bound": result.error_bound,
+            "approx_reason": approx_reason,
             "shed": False,
             "elapsed_seconds": result.elapsed_seconds,
             "pruning_seconds": inst.pruning_seconds,
@@ -1723,6 +1950,13 @@ class QueryEngine:
             self._m_phase.inc(inst.pruning_seconds, phase="pruning")
         if inst.validation_seconds:
             self._m_phase.inc(inst.validation_seconds, phase="validation")
+        if tier == "approx":
+            self._m_approx.inc(reason=approx_reason or "requested")
+            self._m_approx_latency.observe(
+                result.elapsed_seconds, algorithm=result.algorithm
+            )
+            if result.error_bound is not None:
+                self._m_approx_bound.observe(result.error_bound)
         trace.set(query=record["query"])
         self.tracer.export(trace)
 

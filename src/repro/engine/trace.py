@@ -60,8 +60,12 @@ from pathlib import Path
 TRACE_SCHEMA_VERSION = 1
 
 #: the parent-side phase names of the span taxonomy, in canonical order
-#: (child spans shipped from workers are named ``shard:*``/``span:*``)
-PHASES = ("admission", "plan", "prune", "dispatch", "validate", "merge")
+#: (child spans shipped from workers are named ``shard:*``/``span:*``);
+#: ``sketch``/``estimate`` appear only on approximate-tier queries
+PHASES = (
+    "admission", "plan", "prune", "sketch", "estimate",
+    "dispatch", "validate", "merge",
+)
 
 
 @dataclass

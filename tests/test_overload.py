@@ -567,7 +567,7 @@ class TestHealth:
         assert set(h["breakers"]) == {"pool", "fork"}
         assert h["admission"]["max_inflight"] == 4
         assert set(h["caches"]) == {
-            "tables", "candidate_sets", "rtrees", "prunings"
+            "tables", "candidate_sets", "rtrees", "prunings", "sketches"
         }
         assert h["records"]["kept"] == 1
         assert h["queries"] == 1 and h["queries_shed"] == 0
