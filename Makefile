@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-record bench-ladder report
+.PHONY: test bench bench-record bench-ladder bench-server report
 
 test:            ## tier-1 test suite
 	$(PY) -m pytest -x -q
@@ -16,6 +16,9 @@ bench-record:    ## serving scenarios -> BENCH_{4,5}.json + results/engine_{pool
 
 bench-ladder:    ## small-rung scale-ladder smoke (asserts columnar/legacy bit-identity; full ladder: --ladder -> BENCH_6.json)
 	$(PY) benchmarks/record_bench.py --ladder-smoke
+
+bench-server:    ## HTTP front-end overload curves -> BENCH_8.json + results/engine_http_frontend.txt
+	$(PY) benchmarks/record_bench.py --http
 
 report:          ## regenerate REPORT.md (live claim audit)
 	$(PY) -m repro report

@@ -901,6 +901,264 @@ def main_approx(args) -> int:
     return 0 if ok else 1
 
 
+# ----------------------------------------------------------------------
+# HTTP front end (BENCH_8.json)
+# ----------------------------------------------------------------------
+
+def run_http_scenario(
+    duration: float = 6.0,
+    multipliers: tuple = (1, 2, 4),
+    max_inflight: int = 2,
+    seed: int = 11,
+    scale: float = 0.2,
+    n_candidates: int = 48,
+    victim_qps: float = 4.0,
+    approx_k: int = 16,
+) -> dict:
+    """Overload curves through the HTTP front end; the BENCH_8 payload.
+
+    Two tenants share one engine behind the front end: ``victim``
+    offers a light fixed rate, ``bulk`` sweeps its offered rate across
+    multiples of the *sustainable* rate.  Open-loop Poisson arrivals
+    per tenant.  Run once on an exact engine (over-budget bulk
+    requests are shed with 429) and once with the approximate floor
+    armed (over-budget bulk requests are answered from a small
+    influence sketch instead — zero sheds).
+
+    On a single-core host the engine serializes on the GIL, so the
+    sustainable rate is one query's worth of CPU per second
+    (``1 / service_time``) no matter how many budget slots a tenant
+    holds, and a victim sharing the core with *any* admitted bulk work
+    necessarily runs slower than it does solo.  What admission control
+    guarantees — and what the targets check — is that bulk's *offered*
+    rate stops mattering once its budget saturates: the victim's p99
+    at 4x the sustainable rate stays within 1.2x of its p99 at 1x
+    (the loaded-but-not-overloaded baseline), the victim is never
+    shed, and only the overloading tenant is shed (exact engine) or
+    approx-answered (approx floor).  The solo-victim p99 is recorded
+    alongside for reference.
+    """
+    from repro.engine import (
+        TenantAdmission,
+        TenantBudget,
+        TenantLoad,
+        build_serving_engine,
+        run_load_sync,
+    )
+    from repro.engine.server import BackgroundServer
+
+    payload = {
+        "schema": 2,
+        "scenario": "http-front-end",
+        "duration_seconds": duration,
+        "max_inflight": max_inflight,
+        "scale": scale,
+        "n_candidates": n_candidates,
+        "approx_k": approx_k,
+        "modes": {},
+    }
+    for mode in ("exact", "approx"):
+        engine, sample_candidates = build_serving_engine(
+            scale=scale,
+            seed=7,
+            approx=(mode == "approx"),
+            approx_k=(approx_k if mode == "approx" else None),
+        )
+        candidates = sample_candidates(n_candidates, seed)
+        coords = [[float(c.x), float(c.y)] for c in candidates]
+        body = {"candidates": coords, "tau": 0.7}
+
+        engine.query(candidates, tau=0.7)  # warm the (pf, tau) caches
+        if mode == "approx":
+            engine.query_approx(candidates, tau=0.7)  # warm the sketch
+        started = time.perf_counter()
+        reps = 5
+        for _ in range(reps):
+            engine.query(candidates, tau=0.7)
+        service_s = (time.perf_counter() - started) / reps
+        # single-core capacity: one query's worth of CPU per second
+        sustainable_qps = 1.0 / service_s
+
+        # bulk sheds the moment its slots fill; the victim rides out
+        # scheduling jitter in a short queue instead of shedding
+        tenants = TenantAdmission(
+            default=TenantBudget(
+                max_inflight=max_inflight, max_queue_depth=0
+            ),
+            budgets={
+                "victim": TenantBudget(
+                    max_inflight=max_inflight,
+                    max_queue_depth=3 * max_inflight,
+                )
+            },
+        )
+        server = BackgroundServer(
+            engine, tenants=tenants, engine_threads=8
+        )
+        try:
+            base = run_load_sync(
+                [TenantLoad("victim", victim_qps, body)],
+                host="127.0.0.1",
+                port=server.port,
+                duration=duration,
+                seed=seed,
+            )
+            solo = base.tenants["victim"].to_dict()
+            rungs = []
+            for mult in multipliers:
+                report = run_load_sync(
+                    [
+                        TenantLoad("bulk", mult * sustainable_qps, body),
+                        TenantLoad("victim", victim_qps, body),
+                    ],
+                    host="127.0.0.1",
+                    port=server.port,
+                    duration=duration,
+                    seed=seed + mult,
+                )
+                rungs.append({
+                    "offered_multiple": mult,
+                    "bulk_offered_qps": round(mult * sustainable_qps, 2),
+                    "bulk": report.tenants["bulk"].to_dict(),
+                    "victim": report.tenants["victim"].to_dict(),
+                })
+        finally:
+            drain = server.stop()
+        payload["modes"][mode] = {
+            "service_ms": round(service_s * 1000.0, 3),
+            "sustainable_qps": round(sustainable_qps, 2),
+            "victim_qps": round(victim_qps, 2),
+            "solo_victim": solo,
+            "rungs": rungs,
+            "drain": {
+                name: {
+                    k: snap[k] for k in ("offered", "admitted", "shed")
+                }
+                for name, snap in drain["tenants"].items()
+            },
+        }
+
+    exact = payload["modes"]["exact"]
+    approx = payload["modes"]["approx"]
+    top_exact = exact["rungs"][-1]
+    top_approx = approx["rungs"][-1]
+    base_p99 = exact["rungs"][0]["victim"]["p99_ms"]
+    loaded_p99 = top_exact["victim"]["p99_ms"]
+    solo_p99 = exact["solo_victim"]["p99_ms"]
+    payload["targets"] = {
+        # overload beyond the budget must not hurt the victim further:
+        # p99 at 4x sustainable vs the 1x (loaded) baseline
+        "victim_p99_ratio": (
+            round(loaded_p99 / base_p99, 3) if base_p99 else None
+        ),
+        "victim_p99_bounded": bool(
+            base_p99 and loaded_p99 <= 1.2 * base_p99
+        ),
+        # reference only: single-core GIL sharing makes some solo ->
+        # loaded inflation unavoidable; not a pass/fail target
+        "victim_p99_vs_solo": (
+            round(loaded_p99 / solo_p99, 3) if solo_p99 else None
+        ),
+        # isolation: only the overloading tenant is ever shed
+        "victim_never_shed": all(
+            r["victim"]["shed"] == 0
+            for r in exact["rungs"] + approx["rungs"]
+        ),
+        "bulk_shed_under_overload": top_exact["bulk"]["shed"] > 0,
+        # the approx floor absorbs the same overload with zero sheds
+        "approx_zero_sheds": all(
+            r["bulk"]["shed"] == 0 and r["victim"]["shed"] == 0
+            for r in approx["rungs"]
+        ),
+        "approx_absorbed": top_approx["bulk"]["approx"] > 0,
+    }
+    return payload
+
+
+def render_http(payload: dict) -> str:
+    """The front-end summary for ``results/engine_http_frontend.txt``."""
+    lines = [
+        "HTTP front end: per-tenant isolation under open-loop overload",
+        f"(duration {payload['duration_seconds']}s per rung, per-tenant "
+        f"max_inflight {payload['max_inflight']}; bulk queue depth 0, "
+        "victim queue depth 6, policy reject; single-core host, so "
+        "sustainable = 1/service and the 1x rung is the loaded "
+        "baseline)",
+        "",
+    ]
+    for mode, data in payload["modes"].items():
+        lines.append(
+            f"[{mode}] service {data['service_ms']}ms -> sustainable "
+            f"{data['sustainable_qps']} qps; victim offers "
+            f"{data['victim_qps']} qps (solo p99 "
+            f"{data['solo_victim']['p99_ms']}ms)"
+        )
+        table = TextTable([
+            "x-sustainable", "bulk qps", "bulk shed", "bulk approx",
+            "bulk p99 ms", "victim p99 ms", "victim shed",
+        ])
+        for rung in data["rungs"]:
+            bulk, victim = rung["bulk"], rung["victim"]
+            table.add_row([
+                rung["offered_multiple"],
+                rung["bulk_offered_qps"],
+                f"{bulk['shed']}/{bulk['sent']}",
+                bulk["approx"],
+                bulk["p99_ms"],
+                victim["p99_ms"],
+                victim["shed"],
+            ])
+        lines.append(table.render())
+        lines.append("")
+    t = payload["targets"]
+    lines.append(
+        f"victim p99 at 4x vs 1x sustainable: {t['victim_p99_ratio']}x "
+        f"(target <= 1.2x: {'MET' if t['victim_p99_bounded'] else 'MISSED'}; "
+        f"vs solo, for reference: {t['victim_p99_vs_solo']}x)"
+    )
+    lines.append(
+        "victim never shed: "
+        + ("MET" if t["victim_never_shed"] else "MISSED")
+    )
+    lines.append(
+        "bulk shed under exact overload: "
+        + ("MET" if t["bulk_shed_under_overload"] else "MISSED")
+    )
+    lines.append(
+        "approx floor absorbs overload with zero sheds: "
+        + ("MET" if t["approx_zero_sheds"] and t["approx_absorbed"]
+           else "MISSED")
+    )
+    return "\n".join(lines)
+
+
+def main_http(args) -> int:
+    """Run the HTTP front-end scenario and write its artifacts."""
+    payload = run_http_scenario()
+    text = render_http(payload)
+    print(text)
+    Path(args.out_http).write_text(json.dumps(payload, indent=2) + "\n")
+    results_dir = ROOT / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "engine_http_frontend.txt").write_text(text + "\n")
+    print(f"\nJSON written to {args.out_http}")
+    print(
+        f"front-end summary archived to "
+        f"{results_dir / 'engine_http_frontend.txt'}"
+    )
+    t = payload["targets"]
+    ok = (
+        t["victim_p99_bounded"]
+        and t["victim_never_shed"]
+        and t["bulk_shed_under_overload"]
+        and t["approx_zero_sheds"]
+        and t["approx_absorbed"]
+    )
+    if not ok:
+        print("http front-end acceptance missed", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def render(payload: dict) -> str:
     """The human-readable scenario table archived under results/."""
     table = TextTable(
@@ -1039,12 +1297,23 @@ def main(argv=None) -> int:
         "--out-approx", default=str(ROOT / "BENCH_7.json"),
         help="where to write the approximate-tier JSON payload",
     )
+    parser.add_argument(
+        "--http", action="store_true",
+        help="run the HTTP front-end overload scenario instead and "
+        "write BENCH_8.json",
+    )
+    parser.add_argument(
+        "--out-http", default=str(ROOT / "BENCH_8.json"),
+        help="where to write the HTTP front-end JSON payload",
+    )
     args = parser.parse_args(argv)
 
     if args.ladder or args.ladder_smoke:
         return main_ladder(args)
     if args.approx:
         return main_approx(args)
+    if args.http:
+        return main_http(args)
 
     payload = run_scenarios(
         n_queries=args.queries,

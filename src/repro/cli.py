@@ -164,6 +164,147 @@ def _cmd_trace_summary(path: str | None) -> int:
     return 0
 
 
+def _cmd_serve(
+    port: int,
+    host: str,
+    workers: int,
+    pool: bool,
+    approx: bool,
+    max_inflight: int | None,
+    max_queue_depth: int | None,
+    shed_policy: str | None,
+    drain_seconds: float | None,
+    inject_faults: list[str] | None,
+) -> int:
+    """Run the HTTP front end over a synthetic world until SIGTERM."""
+    from repro.engine import (
+        SHED_POLICIES,
+        FaultSpec,
+        TenantAdmission,
+        TenantBudget,
+        build_serving_engine,
+        run_server,
+    )
+
+    if not 0 <= port <= 65535:
+        print(f"--port must be in [0, 65535], got {port}", file=sys.stderr)
+        return 2
+    if workers < 0:
+        print(f"--workers must be >= 0, got {workers}", file=sys.stderr)
+        return 2
+    if pool and workers < 2:
+        print("--pool needs --workers >= 2", file=sys.stderr)
+        return 2
+    if max_inflight is not None and max_inflight < 1:
+        print(
+            f"--max-inflight must be >= 1, got {max_inflight}",
+            file=sys.stderr,
+        )
+        return 2
+    if max_queue_depth is not None and max_queue_depth < 0:
+        print(
+            f"--max-queue-depth must be >= 0, got {max_queue_depth}",
+            file=sys.stderr,
+        )
+        return 2
+    if shed_policy is not None and shed_policy not in SHED_POLICIES:
+        print(
+            f"--shed-policy must be one of {', '.join(SHED_POLICIES)}; "
+            f"got {shed_policy!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if drain_seconds is not None and drain_seconds < 0:
+        print(
+            f"--drain-seconds must be >= 0, got {drain_seconds}",
+            file=sys.stderr,
+        )
+        return 2
+    faults = []
+    for text in inject_faults or []:
+        try:
+            faults.append(FaultSpec.parse(text))
+        except ValueError as exc:
+            print(f"--inject-fault: {exc}", file=sys.stderr)
+            return 2
+    engine, _ = build_serving_engine(
+        workers=workers, pool=pool, approx=approx, faults=faults
+    )
+    tenants = TenantAdmission(
+        default=TenantBudget(
+            max_inflight=max_inflight if max_inflight is not None else 4,
+            max_queue_depth=max_queue_depth,
+            policy=shed_policy or "reject",
+        )
+    )
+    from repro.engine.server import DEFAULT_DRAIN_SECONDS
+
+    return run_server(
+        engine,
+        host=host,
+        port=port,
+        tenants=tenants,
+        drain_seconds=(
+            drain_seconds if drain_seconds is not None
+            else DEFAULT_DRAIN_SECONDS
+        ),
+    )
+
+
+def _cmd_serve_bench_server(
+    offered_qps: float,
+    duration: float,
+    tenants: int,
+    workers: int,
+    pool: bool,
+    approx: bool,
+    max_inflight: int | None,
+    shed_policy: str | None,
+    server_url: str | None,
+) -> int:
+    """Open-loop HTTP bench: serve-bench with --server/--server-url."""
+    from repro.engine import run_server_bench
+
+    if offered_qps <= 0:
+        print(
+            f"--offered-qps must be > 0, got {offered_qps}", file=sys.stderr
+        )
+        return 2
+    if duration <= 0:
+        print(f"--duration must be > 0, got {duration}", file=sys.stderr)
+        return 2
+    if tenants < 1:
+        print(f"--tenants must be >= 1, got {tenants}", file=sys.stderr)
+        return 2
+    try:
+        out = run_server_bench(
+            offered_qps=offered_qps,
+            duration=duration,
+            tenants=tenants,
+            workers=workers,
+            pool=pool,
+            approx=approx,
+            max_inflight=max_inflight if max_inflight is not None else 2,
+            shed_policy=shed_policy or "reject",
+            server_url=server_url,
+        )
+    except ValueError as exc:
+        print(f"serve-bench --server: {exc}", file=sys.stderr)
+        return 2
+    for line in out["summary_lines"]:
+        print(line)
+    if "drain" in out:
+        tenants_snap = out["drain"]["tenants"]
+        for name in sorted(tenants_snap):
+            snap = tenants_snap[name]
+            print(
+                f"tenant {name}: offered={snap['offered']} "
+                f"admitted={snap['admitted']} shed={snap['shed']} "
+                f"(policy {snap['policy']})"
+            )
+    return 0
+
+
 def _cmd_serve_bench(
     queries: int,
     workers: int,
@@ -285,7 +426,13 @@ _ALLOWED_FLAGS = {
     "serve-bench": {
         "--csv", "--queries", "--workers", "--deadline", "--inject-fault",
         "--pool", "--batch", "--max-inflight", "--shed-policy", "--breaker",
-        "--trace", "--metrics-port", "--approx",
+        "--trace", "--metrics-port", "--approx", "--server", "--server-url",
+        "--offered-qps", "--duration", "--tenants",
+    },
+    "serve": {
+        "--port", "--host", "--workers", "--pool", "--approx",
+        "--max-inflight", "--max-queue-depth", "--shed-policy",
+        "--drain-seconds", "--inject-fault",
     },
     "trace-summary": set(),
     "list": set(),
@@ -324,7 +471,7 @@ def main(argv: list[str] | None = None) -> int:
         default="list",
         help=(
             "experiment name, 'all', 'list' (default), 'demo', "
-            "'serve-bench', or 'trace-summary'"
+            "'serve-bench', 'serve', or 'trace-summary'"
         ),
     )
     parser.add_argument(
@@ -460,6 +607,85 @@ def main(argv: list[str] | None = None) -> int:
             "sketches with an advertised error bound"
         ),
     )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="with 'serve': port to bind (0 = ephemeral; default 8321)",
+    )
+    parser.add_argument(
+        "--host",
+        default=None,
+        metavar="HOST",
+        help="with 'serve': address to bind (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with 'serve': per-tenant waiting-line depth behind "
+            "--max-inflight (default: equal to --max-inflight)"
+        ),
+    )
+    parser.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with 'serve': how long a SIGTERM drain waits for "
+            "in-flight requests before cancelling them (default 5)"
+        ),
+    )
+    parser.add_argument(
+        "--server",
+        action="store_true",
+        default=False,
+        help=(
+            "with 'serve-bench': benchmark through the HTTP front end "
+            "— start an in-process server and drive it with open-loop "
+            "Poisson arrivals (see --offered-qps/--duration/--tenants)"
+        ),
+    )
+    parser.add_argument(
+        "--server-url",
+        default=None,
+        metavar="URL",
+        help=(
+            "with 'serve-bench --server': drive an already-running "
+            "front end at http://host:port instead of starting one"
+        ),
+    )
+    parser.add_argument(
+        "--offered-qps",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help=(
+            "with 'serve-bench --server': per-victim-tenant offered "
+            "rate; the 'bulk' tenant offers 4x this (default 10)"
+        ),
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with 'serve-bench --server': load duration (default 3)",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with 'serve-bench --server': tenant count — one 'bulk' "
+            "overloader plus N-1 victims (default 2)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     provided = set()
@@ -491,6 +717,24 @@ def main(argv: list[str] | None = None) -> int:
         provided.add("--metrics-port")
     if args.approx:
         provided.add("--approx")
+    if args.port is not None:
+        provided.add("--port")
+    if args.host is not None:
+        provided.add("--host")
+    if args.max_queue_depth is not None:
+        provided.add("--max-queue-depth")
+    if args.drain_seconds is not None:
+        provided.add("--drain-seconds")
+    if args.server:
+        provided.add("--server")
+    if args.server_url is not None:
+        provided.add("--server-url")
+    if args.offered_qps is not None:
+        provided.add("--offered-qps")
+    if args.duration is not None:
+        provided.add("--duration")
+    if args.tenants is not None:
+        provided.add("--tenants")
     is_experiment = args.experiment in registry
     code = _check_flags(args.experiment, provided, is_experiment)
     if code:
@@ -512,6 +756,33 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_demo(args.svg)
     if args.experiment == "trace-summary":
         return _cmd_trace_summary(args.path)
+    if args.experiment == "serve":
+        return _cmd_serve(
+            port=args.port if args.port is not None else 8321,
+            host=args.host or "127.0.0.1",
+            workers=args.workers if args.workers is not None else 0,
+            pool=args.pool,
+            approx=args.approx,
+            max_inflight=args.max_inflight,
+            max_queue_depth=args.max_queue_depth,
+            shed_policy=args.shed_policy,
+            drain_seconds=args.drain_seconds,
+            inject_faults=args.inject_fault,
+        )
+    if args.experiment == "serve-bench" and (args.server or args.server_url):
+        return _cmd_serve_bench_server(
+            offered_qps=(
+                args.offered_qps if args.offered_qps is not None else 10.0
+            ),
+            duration=args.duration if args.duration is not None else 3.0,
+            tenants=args.tenants if args.tenants is not None else 2,
+            workers=args.workers if args.workers is not None else 0,
+            pool=args.pool,
+            approx=args.approx,
+            max_inflight=args.max_inflight,
+            shed_policy=args.shed_policy,
+            server_url=args.server_url,
+        )
     if args.experiment == "serve-bench":
         return _cmd_serve_bench(
             queries=args.queries if args.queries is not None else 12,

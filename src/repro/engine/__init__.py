@@ -26,7 +26,12 @@
   engine-level :class:`~repro.engine.cache.CacheBudget`,
 * :mod:`repro.engine.bench` — the warm-vs-cold serving benchmark
   behind ``prime-ls serve-bench`` (``--pool``/``--batch`` modes, plus
-  the admission/breaker overload knobs).
+  the admission/breaker overload knobs),
+* :mod:`repro.engine.server` — the multi-tenant asyncio HTTP front
+  end (``/v1/query``, ``/v1/batch``, ``/healthz``, ``/metrics``) with
+  per-tenant admission, deadline propagation, and graceful drain,
+* :mod:`repro.engine.loadgen` — the open-loop Poisson load generator
+  measuring p50/p99 and per-tenant shed rate against offered qps.
 """
 
 from repro.engine.admission import (
@@ -35,6 +40,8 @@ from repro.engine.admission import (
     QueryShed,
     QueryShedError,
     ShedReport,
+    TenantAdmission,
+    TenantBudget,
 )
 from repro.engine.bench import ServeBenchResult, run_serve_bench
 from repro.engine.breaker import (
@@ -60,8 +67,23 @@ from repro.engine.metrics import (
     MetricsRegistry,
     MetricsServer,
 )
+from repro.engine.loadgen import (
+    LoadReport,
+    TenantLoad,
+    TenantStats,
+    build_serving_engine,
+    run_load,
+    run_load_sync,
+    run_server_bench,
+)
 from repro.engine.parallel import Supervisor, fork_available
 from repro.engine.pool import SEGMENT_PREFIX, WorkerPool, pool_segments
+from repro.engine.server import (
+    ApiError,
+    BackgroundServer,
+    HTTPFrontEnd,
+    run_server,
+)
 from repro.engine.session import EngineStats, QueryEngine, QueryRequest
 from repro.engine.trace import (
     NOOP_SPAN,
@@ -98,6 +120,19 @@ __all__ = [
     "QueryShedError",
     "ShedReport",
     "SHED_POLICIES",
+    "TenantBudget",
+    "TenantAdmission",
+    "HTTPFrontEnd",
+    "BackgroundServer",
+    "ApiError",
+    "run_server",
+    "TenantLoad",
+    "TenantStats",
+    "LoadReport",
+    "run_load",
+    "run_load_sync",
+    "run_server_bench",
+    "build_serving_engine",
     "BreakerConfig",
     "CircuitBreaker",
     "DegradationLadder",

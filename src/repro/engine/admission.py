@@ -24,6 +24,14 @@ in-flight count) and accumulates a :class:`ShedReport` the chaos
 harness and ``serve-bench`` assert on.  The ``overload`` fault kind
 (:mod:`repro.engine.faults`) injects phantom in-flight load so all of
 this can be driven deterministically in tests and CI drills.
+
+:class:`TenantAdmission` adds the *tenant* dimension the HTTP front
+end (:mod:`repro.engine.server`) admits on: one
+:class:`AdmissionController` per tenant (budgets from
+:class:`TenantBudget`, lazily created per tenant name), so one
+tenant's burst exhausts *that tenant's* budget and sheds that tenant —
+never the fleet.  The controllers reuse the same shed policies and
+typed :class:`QueryShed` outcomes as engine-level admission.
 """
 
 from __future__ import annotations
@@ -52,6 +60,9 @@ class QueryShed:
     algorithm: str         # what the request would have run
     tau: float
     candidates: int        # size of the request's candidate set
+    #: tenant whose budget refused the request (None for engine-level
+    #: admission, which has no tenant dimension)
+    tenant: str | None = None
 
 
 class QueryShedError(RuntimeError):
@@ -136,6 +147,9 @@ class AdmissionController:
         self.report = ShedReport()
         self._lock = threading.Lock()
         self._inflight = 0
+        #: release() calls (slot-counts) beyond the slots actually held
+        #: — a lifecycle bug upstream; clamped, never phantom capacity
+        self.over_releases = 0
 
     # -- capacity ------------------------------------------------------
     @property
@@ -164,9 +178,23 @@ class AdmissionController:
             return True
 
     def release(self, n: int = 1) -> None:
-        """Return ``n`` slots claimed by ``try_acquire``/``admit_batch``."""
+        """Return ``n`` slots claimed by ``try_acquire``/``admit_batch``.
+
+        Releasing more slots than are held (a double release) must not
+        mint phantom capacity — the in-flight count would go negative
+        and the controller would admit ``capacity + |excess|`` queries.
+        The excess is clamped and counted in :attr:`over_releases`
+        (surfaced by :meth:`snapshot`) so the lifecycle bug is visible
+        instead of silently widening the budget.
+        """
+        if n < 0:
+            raise ValueError(f"release() takes n >= 0, got {n}")
         with self._lock:
-            self._inflight = max(0, self._inflight - int(n))
+            n = int(n)
+            if n > self._inflight:
+                self.over_releases += n - self._inflight
+                n = self._inflight
+            self._inflight -= n
 
     # -- batch admission -----------------------------------------------
     def admit_batch(
@@ -219,4 +247,104 @@ class AdmissionController:
                 "offered": self.report.offered,
                 "admitted": self.report.admitted,
                 "shed": self.report.shed_count,
+                "over_releases": self.over_releases,
             }
+
+
+@dataclass(frozen=True)
+class TenantBudget:
+    """One tenant's admission budget (the per-tenant PR-4 knobs).
+
+    ``priority`` is the default priority stamped on the tenant's
+    requests when a request carries none of its own — it feeds the
+    ``by-priority`` shed policy and the shed outcome either way.
+    """
+
+    max_inflight: int = 4
+    max_queue_depth: int | None = None
+    policy: str = "reject"
+    priority: int = 0
+
+    def __post_init__(self):
+        # Build a throwaway controller so every validation rule lives
+        # in exactly one place; a bad budget fails at construction.
+        AdmissionController(
+            self.max_inflight,
+            max_queue_depth=self.max_queue_depth,
+            policy=self.policy,
+        )
+
+    def controller(self) -> AdmissionController:
+        """A fresh controller enforcing this budget."""
+        return AdmissionController(
+            self.max_inflight,
+            max_queue_depth=self.max_queue_depth,
+            policy=self.policy,
+        )
+
+
+class TenantAdmission:
+    """Per-tenant admission control for the HTTP front end.
+
+    One :class:`AdmissionController` per tenant name, created lazily
+    from ``budgets`` (explicit per-tenant budgets) falling back to
+    ``default`` for tenants seen for the first time.  Isolation is the
+    point: tenant A bursting past its budget sheds tenant A's requests
+    while tenant B's stay admitted — the fleet-level budget (if the
+    engine has one) only backstops aggregate overload.
+
+    Thread-safe: controller creation is guarded by a lock, and each
+    controller guards its own in-flight count.
+    """
+
+    def __init__(
+        self,
+        default: TenantBudget | None = None,
+        budgets: dict[str, TenantBudget] | None = None,
+    ):
+        self.default = default or TenantBudget()
+        self.budgets = dict(budgets or {})
+        self._controllers: dict[str, AdmissionController] = {}
+        self._lock = threading.Lock()
+
+    def controller(self, tenant: str) -> AdmissionController:
+        """The (lazily created) controller enforcing ``tenant``'s budget."""
+        with self._lock:
+            ctrl = self._controllers.get(tenant)
+            if ctrl is None:
+                budget = self.budgets.get(tenant, self.default)
+                ctrl = budget.controller()
+                self._controllers[tenant] = ctrl
+            return ctrl
+
+    def budget_for(self, tenant: str) -> TenantBudget:
+        """The budget ``tenant`` is (or would be) admitted under."""
+        return self.budgets.get(tenant, self.default)
+
+    def try_acquire(self, tenant: str) -> bool:
+        """Claim one of ``tenant``'s slots; ``False`` means shed."""
+        return self.controller(tenant).try_acquire()
+
+    def release(self, tenant: str, n: int = 1) -> None:
+        """Return ``n`` of ``tenant``'s slots."""
+        self.controller(tenant).release(n)
+
+    def tenants(self) -> list[str]:
+        """Every tenant that has been admitted on, sorted."""
+        with self._lock:
+            return sorted(self._controllers)
+
+    def shed_by_tenant(self) -> dict[str, int]:
+        """Lifetime shed counts per tenant (feeds the drain summary
+        and ``pinls_http_sheds_total{tenant=...}``)."""
+        return {
+            tenant: self.controller(tenant).report.shed_count
+            for tenant in self.tenants()
+        }
+
+    def snapshot(self) -> dict:
+        """Per-tenant controller snapshots, for ``/healthz``."""
+        return {
+            tenant: self.controller(tenant).snapshot()
+            for tenant in self.tenants()
+        }

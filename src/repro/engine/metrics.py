@@ -386,6 +386,14 @@ class MetricsServer:
     the bound one either way.  The server thread is a daemon, so a
     crashed bench never hangs on it; call :meth:`close` for an orderly
     shutdown.  Usable as a context manager.
+
+    ``start=False`` defers the bind to an explicit :meth:`start` call,
+    so a caller can hold the object before committing a port.
+    :meth:`close` is idempotent and safe at every lifecycle point:
+    before :meth:`start`, after a *failed* bind (the OSError
+    propagates, the instance stays closed), and on a second close —
+    none of them raise, so ``finally: server.close()`` teardown paths
+    never mask the original error.
     """
 
     def __init__(
@@ -393,33 +401,71 @@ class MetricsServer:
         registry: MetricsRegistry,
         port: int = 0,
         host: str = "127.0.0.1",
+        start: bool = True,
     ):
         if not 0 <= int(port) <= 65535:
             raise ValueError(f"port must be in [0, 65535], got {port}")
         self.registry = registry
-        self._server = _RegistryHTTPServer((host, int(port)), _MetricsHandler)
-        self._server.registry = registry
+        self._host = host
+        self._requested_port = int(port)
+        self._server: _RegistryHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        if start:
+            self.start()
+
+    def start(self) -> "MetricsServer":
+        """Bind the port and start serving (no-op when already serving).
+
+        A failed bind (port in use, bad host) raises ``OSError`` and
+        leaves the instance closed — :meth:`close` afterwards is a
+        safe no-op.
+        """
+        if self._server is not None:
+            return self
+        server = _RegistryHTTPServer(
+            (self._host, self._requested_port), _MetricsHandler
+        )
+        server.registry = self.registry
+        self._server = server
         self._thread = threading.Thread(
-            target=self._server.serve_forever,
+            target=server.serve_forever,
             name="prime-ls-metrics",
             daemon=True,
         )
         self._thread.start()
+        return self
+
+    @property
+    def started(self) -> bool:
+        """Whether the endpoint is currently bound and serving."""
+        return self._server is not None
 
     @property
     def port(self) -> int:
+        """The bound port while serving, else the requested one."""
+        if self._server is None:
+            return self._requested_port
         return self._server.server_address[1]
 
     @property
     def url(self) -> str:
-        host = self._server.server_address[0]
+        host = self._server.server_address[0] if self._server else self._host
         return f"http://{host}:{self.port}/metrics"
 
     def close(self) -> None:
-        """Stop serving, release the port, join the server thread."""
-        self._server.shutdown()
-        self._server.server_close()
-        self._thread.join(timeout=2.0)
+        """Stop serving, release the port, join the server thread.
+
+        Idempotent, and safe before :meth:`start` or after a failed
+        bind — closing a never-started (or already-closed) endpoint is
+        a no-op, never an exception.
+        """
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=2.0)
 
     def __enter__(self) -> "MetricsServer":
         return self

@@ -1,0 +1,1092 @@
+"""Multi-tenant asyncio HTTP front end for the serving engine.
+
+Everything *behind* the socket already exists — bounded admission,
+the circuit-broken pool → fork → serial degradation ladder, the
+sketch-based approximate floor, tracing and Prometheus metrics.  This
+module is the socket: a stdlib-``asyncio`` HTTP/1.1 server that turns
+the :class:`~repro.engine.session.QueryEngine` into a network service
+with end-to-end guarantees a client can actually observe.
+
+Endpoints
+---------
+
+* ``POST /v1/query`` — one PRIME-LS query; JSON body with
+  ``candidates`` (``[[x, y], ...]`` or ``[{"x": .., "y": ..}, ...]``),
+  optional ``tau``/``algorithm``/``pf``/``tenant``/``priority``/
+  ``timeout_ms``,
+* ``POST /v1/batch`` — ``{"queries": [...]}``, one coalesced admission
+  round per tenant through :meth:`QueryEngine.query_batch`,
+* ``GET /healthz`` — the engine's readiness probe
+  (:meth:`QueryEngine.health`) plus per-tenant admission and front-end
+  state; 200 while ready (degraded included — a degraded ladder still
+  answers), 503 while draining or closed,
+* ``GET /metrics`` — the engine's Prometheus page (including the
+  ``pinls_http_*`` series this module registers), rendered by the same
+  :class:`~repro.engine.metrics.MetricsRegistry` a side-car
+  :class:`~repro.engine.metrics.MetricsServer` would serve.
+
+Robustness contract
+-------------------
+
+* **per-tenant admission** —
+  :class:`~repro.engine.admission.TenantAdmission` gives every tenant
+  its own bounded budget mapping onto the PR-4 shed policies, so one
+  tenant's burst sheds *that tenant* (HTTP 429 with a typed error
+  body), never the fleet; on an ``approx=True`` engine the over-budget
+  request is answered from the influence sketch instead
+  (:meth:`QueryEngine.query_approx` — labelled, bounded, HTTP 200),
+* **deadline propagation** — ``timeout_ms`` (body field, or the
+  ``X-Timeout-Ms`` header) becomes ``query(deadline_seconds=...)``;
+  an overrun returns HTTP 504, the engine having already killed and
+  joined any workers past the budget,
+* **malformed input never tracebacks** — oversized bodies are refused
+  with 413 *before* reading, missing/invalid ``Content-Length`` with
+  411, malformed JSON and invalid parameters with 400; every error is
+  a typed JSON body ``{"error": {"code", "status", "message"}}``,
+* **slow clients cannot stall the event loop** — engine work runs on
+  a *bounded* thread-pool executor (the event loop only parses,
+  admits, and serialises), and reads/writes carry hard timeouts (408
+  on a stalled request body; a stalled response write closes the
+  connection),
+* **graceful drain** — SIGTERM (or :meth:`HTTPFrontEnd.drain`) stops
+  accepting, lets in-flight requests finish within the drain budget
+  (stragglers are cancelled), shuts the executor down, closes the
+  engine (JSONL metrics/traces flushed, every /dev/shm segment
+  released), and reports per-tenant shed lines — ``run_server``
+  then exits 0.
+
+One request per connection (the server answers ``Connection: close``);
+at benchmark rates connection setup is noise and the lifecycle stays
+trivially correct under chaos drills.  The open-loop Poisson load
+generator in :mod:`repro.engine.loadgen` is the measurement harness:
+closed-loop clients hide queueing collapse, offered-rate clients do
+not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.engine.admission import (
+    QueryShed,
+    QueryShedError,
+    TenantAdmission,
+)
+from repro.engine.faults import DeadlineExceeded
+from repro.engine.session import QueryEngine, QueryRequest
+from repro.model.candidate import Candidate
+from repro.prob import (
+    ConcavePF,
+    ConvexPF,
+    ExponentialPF,
+    LinearPF,
+    LogsigPF,
+    PowerLawPF,
+    ProbabilityFunction,
+)
+
+#: tenant applied when a request names none
+DEFAULT_TENANT = "default"
+
+#: request-body ceiling (bytes) — a batch of a few hundred candidate
+#: sets fits comfortably; anything bigger is refused with 413
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+#: seconds a client may take to deliver its request (line + headers +
+#: body) before the front end answers 408 and closes the connection
+DEFAULT_READ_TIMEOUT = 10.0
+
+#: seconds a client may stall the response write before the connection
+#: is dropped (the handler slot is freed either way)
+DEFAULT_WRITE_TIMEOUT = 10.0
+
+#: seconds a drain waits for in-flight requests before cancelling them
+DEFAULT_DRAIN_SECONDS = 5.0
+
+#: ``timeout_ms`` ceiling — a deadline beyond this is a client bug
+MAX_TIMEOUT_MS = 600_000.0
+
+#: probability functions a request may name in its ``pf`` object
+PF_REGISTRY: dict[str, type] = {
+    "powerlaw": PowerLawPF,
+    "exponential": ExponentialPF,
+    "linear": LinearPF,
+    "logsig": LogsigPF,
+    "convex": ConvexPF,
+    "concave": ConcavePF,
+}
+
+#: single-request shed reason per tenant shed policy (batch admission
+#: reuses the engine's own per-policy reasons)
+_POLICY_REASON = {
+    "reject": "queue-full",
+    "oldest": "superseded",
+    "by-priority": "low-priority",
+}
+
+
+class ApiError(Exception):
+    """A typed HTTP error: status code, machine code, human message.
+
+    Raised anywhere in request handling and rendered as the JSON error
+    body — the *only* error surface clients ever see (no tracebacks).
+    """
+
+    def __init__(self, status: int, code: str, message: str):
+        self.status = status
+        self.code = code
+        self.message = message
+        super().__init__(f"{status} {code}: {message}")
+
+    def body(self) -> dict:
+        """The typed JSON error body every non-2xx response carries."""
+        return {
+            "error": {
+                "code": self.code,
+                "status": self.status,
+                "message": self.message,
+            }
+        }
+
+
+_REASON_PHRASES = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    411: "Length Required", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+def _parse_pf(spec) -> ProbabilityFunction | None:
+    """Build the request's probability function from its ``pf`` object."""
+    if spec is None:
+        return None
+    if not isinstance(spec, dict) or "name" not in spec:
+        raise ApiError(
+            400, "bad-pf",
+            'pf must be an object like {"name": "powerlaw", "rho": 0.9}',
+        )
+    params = dict(spec)
+    name = params.pop("name")
+    cls = PF_REGISTRY.get(name)
+    if cls is None:
+        raise ApiError(
+            400, "bad-pf",
+            f"unknown pf {name!r}; expected one of "
+            f"{', '.join(sorted(PF_REGISTRY))}",
+        )
+    try:
+        return cls(**params)
+    except (TypeError, ValueError) as exc:
+        raise ApiError(400, "bad-pf", f"invalid pf parameters: {exc}")
+
+
+def _parse_candidates(raw) -> list[Candidate]:
+    """Candidates from ``[[x, y], ...]`` or ``[{"x": .., "y": ..}]``."""
+    if not isinstance(raw, list) or not raw:
+        raise ApiError(
+            400, "bad-candidates",
+            "candidates must be a non-empty list of [x, y] pairs or "
+            '{"x": .., "y": ..} objects',
+        )
+    out: list[Candidate] = []
+    for i, entry in enumerate(raw):
+        try:
+            if isinstance(entry, dict):
+                x, y = float(entry["x"]), float(entry["y"])
+                cid = int(entry.get("id", i))
+                label = str(entry.get("label", ""))
+            else:
+                x, y = float(entry[0]), float(entry[1])
+                cid, label = i, ""
+        except (KeyError, IndexError, TypeError, ValueError):
+            raise ApiError(
+                400, "bad-candidates",
+                f"candidates[{i}] is not a coordinate pair",
+            )
+        out.append(Candidate(cid, x, y, label))
+    return out
+
+
+def _parse_timeout_ms(body: dict, headers: dict) -> float | None:
+    """The request deadline in milliseconds (body beats header)."""
+    raw = body.get("timeout_ms")
+    if raw is None:
+        raw = headers.get("x-timeout-ms")
+    if raw is None:
+        return None
+    try:
+        timeout_ms = float(raw)
+    except (TypeError, ValueError):
+        raise ApiError(
+            400, "bad-timeout", f"timeout_ms must be a number, got {raw!r}"
+        )
+    if not 0.0 < timeout_ms <= MAX_TIMEOUT_MS:
+        raise ApiError(
+            400, "bad-timeout",
+            f"timeout_ms must be in (0, {MAX_TIMEOUT_MS:.0f}], "
+            f"got {timeout_ms}",
+        )
+    return timeout_ms
+
+
+@dataclass
+class _ParsedQuery:
+    """One validated ``/v1/query`` (or batch member) ready to execute."""
+
+    candidates: list[Candidate]
+    pf: ProbabilityFunction | None
+    tau: float
+    algorithm: str
+    tenant: str
+    priority: int | None
+    timeout_ms: float | None
+
+
+class HTTPFrontEnd:
+    """The asyncio HTTP server bridging sockets onto one engine.
+
+    ::
+
+        engine = QueryEngine(objects, approx=True)
+        front = HTTPFrontEnd(engine, port=8080)
+        await front.start()
+        ...
+        await front.drain()   # or run_server(...) for the blocking form
+
+    The front end owns the listener, the per-tenant admission state,
+    and a bounded executor; it does **not** own the engine's
+    construction, but :meth:`drain` closes the engine (flushing JSONL
+    metrics/traces and unlinking /dev/shm segments) because a drained
+    front end is the engine's end of life in a serving deployment.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tenants: TenantAdmission | None = None,
+        engine_threads: int = 4,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        read_timeout: float = DEFAULT_READ_TIMEOUT,
+        write_timeout: float = DEFAULT_WRITE_TIMEOUT,
+        drain_seconds: float = DEFAULT_DRAIN_SECONDS,
+    ):
+        if engine_threads < 1:
+            raise ValueError(
+                f"engine_threads must be >= 1, got {engine_threads}"
+            )
+        if max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1, got {max_body_bytes}"
+            )
+        for name, value in (
+            ("read_timeout", read_timeout),
+            ("write_timeout", write_timeout),
+        ):
+            if value <= 0:
+                raise ValueError(f"{name} must be > 0, got {value}")
+        if drain_seconds < 0:
+            raise ValueError(
+                f"drain_seconds must be >= 0, got {drain_seconds}"
+            )
+        self.engine = engine
+        self.host = host
+        self._requested_port = int(port)
+        self.tenants = tenants or TenantAdmission()
+        self.max_body_bytes = int(max_body_bytes)
+        self.read_timeout = float(read_timeout)
+        self.write_timeout = float(write_timeout)
+        self.drain_seconds = float(drain_seconds)
+        self._executor = ThreadPoolExecutor(
+            max_workers=int(engine_threads),
+            thread_name_prefix="pinls-http",
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._handler_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._drained = False
+        #: lifetime request counter (also the id shed outcomes carry)
+        self.requests_served = 0
+        self._inflight = 0
+        self._init_http_metrics()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _init_http_metrics(self) -> None:
+        """Register the ``pinls_http_*`` series on the engine registry.
+
+        The registry refuses duplicate names, so a second front end
+        over the same engine reuses the first one's series — both
+        fronts then account into one catalog, which is what a scrape
+        of the shared engine should see.
+        """
+        reg = self.engine.metrics
+        self._m_requests = reg.get("pinls_http_requests_total") or reg.counter(
+            "pinls_http_requests_total",
+            "HTTP requests answered, by tenant, endpoint, and status "
+            "code.",
+            labels=("tenant", "endpoint", "code"),
+        )
+        self._m_latency = reg.get(
+            "pinls_http_request_seconds"
+        ) or reg.histogram(
+            "pinls_http_request_seconds",
+            "Wall time from request receipt to response write, per "
+            "endpoint.",
+            labels=("endpoint",),
+        )
+        self._m_sheds = reg.get("pinls_http_sheds_total") or reg.counter(
+            "pinls_http_sheds_total",
+            "Requests refused by per-tenant admission (HTTP 429), by "
+            "tenant and shed reason.",
+            labels=("tenant", "reason"),
+        )
+        self._m_approx = reg.get(
+            "pinls_http_approx_answers_total"
+        ) or reg.counter(
+            "pinls_http_approx_answers_total",
+            "Over-budget requests answered from the approximate tier "
+            "instead of shed, by tenant.",
+            labels=("tenant",),
+        )
+        gauge = reg.get("pinls_http_inflight_requests")
+        if gauge is None:
+            gauge = reg.gauge(
+                "pinls_http_inflight_requests",
+                "HTTP requests currently being handled by this front "
+                "end.",
+            )
+            gauge.set_function(lambda: self._inflight)
+        self._m_inflight = gauge
+        draining = reg.get("pinls_http_draining")
+        if draining is None:
+            draining = reg.gauge(
+                "pinls_http_draining",
+                "1 while the front end is draining or drained, else 0.",
+            )
+            draining.set_function(lambda: int(self._draining))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "HTTPFrontEnd":
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            return self
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port while serving, else the requested one."""
+        if self._server is None or not self._server.sockets:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self, budget: float | None = None) -> dict:
+        """Graceful shutdown: stop accepting, finish or shed, close.
+
+        1. mark draining (``/healthz`` flips to 503, new requests are
+           refused with a typed 503 body),
+        2. close the listener so no new connections arrive,
+        3. wait up to the drain budget for in-flight handlers, then
+           cancel the stragglers,
+        4. shut the executor down (queued work cancelled),
+        5. close the engine — JSONL metrics and traces are flushed by
+           their append-per-event writers, pool workers are stopped
+           and joined, and every /dev/shm segment is unlinked.
+
+        Returns a summary dict (``tenants`` holds per-tenant
+        offered/admitted/shed counts) and is idempotent — a second
+        drain returns the summary again without re-closing anything.
+        """
+        if not self._drained:
+            self._draining = True
+            budget = self.drain_seconds if budget is None else float(budget)
+            deadline = time.monotonic() + budget
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            pending = {t for t in self._handler_tasks if not t.done()}
+            if pending:
+                remaining = max(0.0, deadline - time.monotonic())
+                done, still = await asyncio.wait(
+                    pending, timeout=remaining
+                )
+                for task in still:
+                    task.cancel()
+                if still:
+                    await asyncio.gather(*still, return_exceptions=True)
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self.engine.close()
+            self._drained = True
+        return {
+            "drained": True,
+            "tenants": self.tenants.snapshot(),
+            "requests_served": self.requests_served,
+        }
+
+    def drain_lines(self) -> list[str]:
+        """Human-readable per-tenant drain summary (one grep-able line
+        per tenant, plus the closing status line)."""
+        lines = []
+        for tenant, snap in sorted(self.tenants.snapshot().items()):
+            lines.append(
+                f"tenant {tenant}: offered={snap['offered']} "
+                f"admitted={snap['admitted']} shed={snap['shed']} "
+                f"(policy {snap['policy']}, "
+                f"max-inflight {snap['max_inflight']})"
+            )
+        lines.append(
+            f"drain: complete after {self.requests_served} request(s)"
+        )
+        return lines
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        """One connection: read one request, answer it, close."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        self._inflight += 1
+        started = time.perf_counter()
+        endpoint = "unknown"
+        tenant = DEFAULT_TENANT
+        status = 500
+        try:
+            try:
+                method, path, headers, body = await self._read_request(
+                    reader
+                )
+                endpoint = path
+                status, payload, tenant = await self._route(
+                    method, path, headers, body
+                )
+            except ApiError as exc:
+                status, payload = exc.status, exc.body()
+            except asyncio.CancelledError:
+                raise  # drain cancelled us; the connection just drops
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return  # client went away mid-request: nothing to answer
+            except Exception as exc:  # noqa: BLE001 - the no-traceback contract
+                status = 500
+                payload = ApiError(
+                    500, "internal",
+                    f"unexpected {type(exc).__name__} while handling "
+                    "the request",
+                ).body()
+            await self._write_response(writer, status, payload)
+        finally:
+            self._inflight -= 1
+            self.requests_served += 1
+            elapsed = time.perf_counter() - started
+            self._m_requests.inc(
+                tenant=tenant, endpoint=endpoint, code=str(status)
+            )
+            self._m_latency.observe(elapsed, endpoint=endpoint)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        """Parse one HTTP/1.1 request under the read timeout."""
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), self.read_timeout
+            )
+        except asyncio.TimeoutError:
+            raise ApiError(
+                408, "read-timeout",
+                f"request head not received within "
+                f"{self.read_timeout:.1f}s",
+            )
+        except asyncio.LimitOverrunError:
+            raise ApiError(
+                413, "headers-too-large", "request head exceeds the limit"
+            )
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                raise ConnectionError("client closed before a request")
+            raise ApiError(
+                400, "bad-request", "connection closed mid-request-head"
+            )
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            method, path, _version = lines[0].split(" ", 2)
+        except (UnicodeDecodeError, ValueError):
+            raise ApiError(
+                400, "bad-request", "malformed HTTP request line"
+            )
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        path = path.split("?", 1)[0]
+        body = b""
+        if method == "POST":
+            if "chunked" in headers.get("transfer-encoding", "").lower():
+                raise ApiError(
+                    411, "length-required",
+                    "chunked transfer encoding is not supported; send "
+                    "a Content-Length",
+                )
+            raw_length = headers.get("content-length")
+            if raw_length is None:
+                raise ApiError(
+                    411, "length-required",
+                    "POST requests must carry a Content-Length header",
+                )
+            try:
+                length = int(raw_length)
+                if length < 0:
+                    raise ValueError
+            except ValueError:
+                raise ApiError(
+                    400, "bad-request",
+                    f"invalid Content-Length {raw_length!r}",
+                )
+            if length > self.max_body_bytes:
+                # refused before reading: an oversized body never
+                # occupies the loop or the parser
+                raise ApiError(
+                    413, "body-too-large",
+                    f"request body of {length} bytes exceeds the "
+                    f"{self.max_body_bytes}-byte limit",
+                )
+            if length:
+                try:
+                    body = await asyncio.wait_for(
+                        reader.readexactly(length), self.read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    raise ApiError(
+                        408, "read-timeout",
+                        f"request body not received within "
+                        f"{self.read_timeout:.1f}s",
+                    )
+        return method, path, headers, body
+
+    async def _write_response(self, writer, status: int, payload) -> None:
+        """Serialise and send one JSON (or text) response."""
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+            content_type = "application/json"
+        reason = _REASON_PHRASES.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await asyncio.wait_for(writer.drain(), self.write_timeout)
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            # a stalled or vanished client cannot hold the handler:
+            # drop the connection, the slot is freed by the caller
+            pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(self, method, path, headers, body):
+        """Dispatch one parsed request; returns (status, payload, tenant)."""
+        if path == "/healthz":
+            if method != "GET":
+                raise ApiError(405, "method-not-allowed", "use GET")
+            return (*self._handle_healthz(), DEFAULT_TENANT)
+        if path == "/metrics":
+            if method != "GET":
+                raise ApiError(405, "method-not-allowed", "use GET")
+            return 200, self.engine.metrics.render(), DEFAULT_TENANT
+        if path == "/v1/query":
+            if method != "POST":
+                raise ApiError(405, "method-not-allowed", "use POST")
+            return await self._handle_query(headers, body)
+        if path == "/v1/batch":
+            if method != "POST":
+                raise ApiError(405, "method-not-allowed", "use POST")
+            return await self._handle_batch(headers, body)
+        raise ApiError(
+            404, "not-found",
+            f"no route for {path!r}; endpoints: /v1/query, /v1/batch, "
+            "/healthz, /metrics",
+        )
+
+    def _handle_healthz(self):
+        """Readiness: engine health + tenant budgets + front-end state."""
+        health = self.engine.health()
+        health["tenants"] = self.tenants.snapshot()
+        health["http"] = {
+            "draining": self._draining,
+            "inflight": self._inflight,
+            "requests_served": self.requests_served,
+        }
+        if self._draining:
+            health["status"] = "draining"
+            health["ready"] = False
+        status = 200 if health["ready"] else 503
+        return status, health
+
+    def _check_serving(self) -> None:
+        if self._draining:
+            raise ApiError(
+                503, "draining",
+                "the server is draining and no longer accepts queries",
+            )
+
+    def _parse_body(self, body: bytes) -> dict:
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError(
+                400, "bad-json", f"request body is not valid JSON: {exc}"
+            )
+        if not isinstance(parsed, dict):
+            raise ApiError(
+                400, "bad-json", "request body must be a JSON object"
+            )
+        return parsed
+
+    def _parse_query(
+        self, payload: dict, headers: dict, tenant_default: str | None = None
+    ) -> _ParsedQuery:
+        """Validate one query object (top-level or batch member)."""
+        tenant = payload.get("tenant") or tenant_default or headers.get(
+            "x-tenant"
+        ) or DEFAULT_TENANT
+        if not isinstance(tenant, str) or not tenant:
+            raise ApiError(400, "bad-tenant", "tenant must be a string")
+        candidates = _parse_candidates(payload.get("candidates"))
+        tau = payload.get("tau", 0.7)
+        try:
+            tau = float(tau)
+        except (TypeError, ValueError):
+            raise ApiError(400, "bad-tau", f"tau must be a number, got {tau!r}")
+        if not 0.0 < tau < 1.0:
+            raise ApiError(
+                400, "bad-tau", f"tau must be in (0, 1), got {tau}"
+            )
+        algorithm = payload.get("algorithm", "PIN-VO")
+        if not isinstance(algorithm, str):
+            raise ApiError(
+                400, "bad-algorithm", "algorithm must be a string"
+            )
+        priority = payload.get("priority")
+        if priority is not None:
+            try:
+                priority = int(priority)
+            except (TypeError, ValueError):
+                raise ApiError(
+                    400, "bad-priority",
+                    f"priority must be an integer, got {priority!r}",
+                )
+        return _ParsedQuery(
+            candidates=candidates,
+            pf=_parse_pf(payload.get("pf")),
+            tau=tau,
+            algorithm=algorithm,
+            tenant=tenant,
+            priority=priority,
+            timeout_ms=_parse_timeout_ms(payload, headers),
+        )
+
+    # ------------------------------------------------------------------
+    # /v1/query
+    # ------------------------------------------------------------------
+    async def _handle_query(self, headers, body):
+        self._check_serving()
+        q = self._parse_query(self._parse_body(body), headers)
+        budget = self.tenants.budget_for(q.tenant)
+        priority = budget.priority if q.priority is None else q.priority
+        controller = self.tenants.controller(q.tenant)
+        if not controller.try_acquire():
+            answer = await self._over_budget(q, controller, priority)
+            return (*answer, q.tenant)
+        try:
+            result = await self._run_engine(
+                self.engine.query,
+                q.candidates,
+                pf=q.pf,
+                tau=q.tau,
+                algorithm=q.algorithm,
+                deadline_seconds=(
+                    q.timeout_ms / 1000.0
+                    if q.timeout_ms is not None else None
+                ),
+                priority=priority,
+                tenant=q.tenant,
+            )
+        finally:
+            controller.release()
+        return 200, self._result_body(result, q.tenant), q.tenant
+
+    async def _over_budget(self, q: _ParsedQuery, controller, priority):
+        """The tenant's budget is full: approx-answer or shed with 429."""
+        if self.engine.approx and q.algorithm in self.engine.APPROX_ALGORITHMS:
+            # over-budget but never unanswered: the sketch estimate is
+            # too cheap to need a slot, and it is honestly labelled
+            self._m_approx.inc(tenant=q.tenant)
+            result = await self._run_engine(
+                self.engine.query_approx,
+                q.candidates,
+                pf=q.pf,
+                tau=q.tau,
+                algorithm=q.algorithm,
+                reason="overload",
+                tenant=q.tenant,
+            )
+            return 200, self._result_body(result, q.tenant)
+        reason = _POLICY_REASON.get(controller.policy, "queue-full")
+        shed = QueryShed(
+            query_id=self.requests_served,
+            reason=reason,
+            policy=controller.policy,
+            priority=priority,
+            algorithm=q.algorithm,
+            tau=q.tau,
+            candidates=len(q.candidates),
+            tenant=q.tenant,
+        )
+        controller.report.note_shed(shed)
+        self._m_sheds.inc(tenant=q.tenant, reason=reason)
+        return 429, self._shed_body(shed)
+
+    def _shed_body(self, shed: QueryShed) -> dict:
+        out = ApiError(
+            429, "shed",
+            f"tenant {shed.tenant!r} is over its admission budget "
+            f"({shed.reason}, policy {shed.policy!r})",
+        ).body()
+        out["shed"] = {
+            "tenant": shed.tenant,
+            "reason": shed.reason,
+            "policy": shed.policy,
+            "priority": shed.priority,
+            "algorithm": shed.algorithm,
+        }
+        return out
+
+    def _result_body(self, result, tenant: str) -> dict:
+        """The response body for one completed query."""
+        inst = result.instrumentation
+        return {
+            "tenant": tenant,
+            "algorithm": result.algorithm,
+            "best_candidate": {
+                "id": result.best_candidate.candidate_id,
+                "x": result.best_candidate.x,
+                "y": result.best_candidate.y,
+            },
+            "best_influence": result.best_influence,
+            "influences": {str(k): v for k, v in result.influences.items()},
+            "quality": result.quality,
+            "error_bound": result.error_bound,
+            "elapsed_ms": round(result.elapsed_seconds * 1000.0, 3),
+            "degraded": bool(inst.degraded),
+        }
+
+    async def _run_engine(self, fn, *args, **kwargs):
+        """Run one engine call on the bounded executor.
+
+        The event loop never executes engine work — slow queries (and
+        slow clients waiting on them) occupy an executor thread, not
+        the loop.  Engine-level outcomes are translated to typed HTTP
+        errors here: a deadline overrun is 504, an engine-level shed
+        (the fleet backstop, when the engine itself has admission
+        control) is 429, and validation errors are 400.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._executor, lambda: fn(*args, **kwargs)
+            )
+        except DeadlineExceeded:
+            raise ApiError(
+                504, "deadline-exceeded",
+                "the query exceeded its timeout_ms budget",
+            )
+        except QueryShedError as exc:
+            raise ApiError(
+                429, "shed",
+                f"engine admission shed the query ({exc.shed.reason})",
+            )
+        except ValueError as exc:
+            raise ApiError(400, "bad-query", str(exc))
+        except RuntimeError as exc:
+            raise ApiError(503, "engine-closed", str(exc))
+
+    # ------------------------------------------------------------------
+    # /v1/batch
+    # ------------------------------------------------------------------
+    async def _handle_batch(self, headers, body):
+        """One admission round per tenant, then one engine batch.
+
+        Members are grouped by tenant and admitted through each
+        tenant's own controller (so the per-tenant shed *policy*
+        applies within the round: ``by-priority`` keeps a tenant's
+        high-priority members, ``oldest`` its freshest).  Admitted
+        members run through :meth:`QueryEngine.query_batch`; shed ones
+        come back in place as typed shed objects, preserving order.
+        """
+        self._check_serving()
+        payload = self._parse_body(body)
+        raw_queries = payload.get("queries")
+        if not isinstance(raw_queries, list) or not raw_queries:
+            raise ApiError(
+                400, "bad-batch",
+                'batch body must be {"queries": [...]} with at least '
+                "one query",
+            )
+        batch_tenant = payload.get("tenant")
+        timeout_ms = _parse_timeout_ms(payload, headers)
+        queries: list[_ParsedQuery] = []
+        for i, raw in enumerate(raw_queries):
+            if not isinstance(raw, dict):
+                raise ApiError(
+                    400, "bad-batch", f"queries[{i}] must be an object"
+                )
+            try:
+                queries.append(
+                    self._parse_query(raw, headers, tenant_default=batch_tenant)
+                )
+            except ApiError as exc:
+                raise ApiError(
+                    exc.status, exc.code, f"queries[{i}]: {exc.message}"
+                )
+
+        # Per-tenant admission round over the batch members.
+        by_tenant: dict[str, list[int]] = {}
+        for i, q in enumerate(queries):
+            by_tenant.setdefault(q.tenant, []).append(i)
+        slots: list = [None] * len(queries)
+        admitted: list[int] = []
+        released: dict[str, int] = {}
+        for tenant, indexes in by_tenant.items():
+            controller = self.tenants.controller(tenant)
+            budget = self.tenants.budget_for(tenant)
+            priorities = [
+                budget.priority
+                if queries[i].priority is None else queries[i].priority
+                for i in indexes
+            ]
+            ok, shed_pairs = controller.admit_batch(priorities)
+            released[tenant] = len(ok)
+            admitted.extend(indexes[k] for k in ok)
+            for k, reason in shed_pairs:
+                i = indexes[k]
+                shed = QueryShed(
+                    query_id=self.requests_served,
+                    reason=reason,
+                    policy=controller.policy,
+                    priority=priorities[k],
+                    algorithm=queries[i].algorithm,
+                    tau=queries[i].tau,
+                    candidates=len(queries[i].candidates),
+                    tenant=tenant,
+                )
+                controller.report.note_shed(shed)
+                self._m_sheds.inc(tenant=tenant, reason=reason)
+                slots[i] = self._shed_body(shed)
+        admitted.sort()
+
+        results = []
+        if admitted:
+            requests = [
+                QueryRequest(
+                    queries[i].candidates,
+                    queries[i].pf,
+                    queries[i].tau,
+                    queries[i].algorithm,
+                    priority=(
+                        queries[i].priority
+                        if queries[i].priority is not None
+                        else self.tenants.budget_for(queries[i].tenant).priority
+                    ),
+                )
+                for i in admitted
+            ]
+            try:
+                results = await self._run_engine(
+                    self.engine.query_batch,
+                    requests,
+                    deadline_seconds=(
+                        timeout_ms / 1000.0
+                        if timeout_ms is not None else None
+                    ),
+                )
+            finally:
+                for tenant, n in released.items():
+                    if n:
+                        self.tenants.release(tenant, n)
+        for i, res in zip(admitted, results):
+            if isinstance(res, QueryShed):
+                # the engine-level (fleet backstop) admission shed it
+                self._m_sheds.inc(
+                    tenant=queries[i].tenant, reason=res.reason
+                )
+                slots[i] = self._shed_body(res)
+            else:
+                slots[i] = self._result_body(res, queries[i].tenant)
+        tenant_label = (
+            batch_tenant if isinstance(batch_tenant, str) and batch_tenant
+            else DEFAULT_TENANT
+        )
+        return 200, {"results": slots}, tenant_label
+
+
+class BackgroundServer:
+    """A front end running on a private event loop in a daemon thread.
+
+    The form tests and the in-process benchmark harness use::
+
+        with BackgroundServer(engine, tenants=...) as server:
+            ... speak HTTP to server.port ...
+
+    ``stop()`` (or leaving the context) runs the full drain on the
+    server's loop and joins the thread.
+    """
+
+    def __init__(self, engine: QueryEngine, **kwargs):
+        self.front = HTTPFrontEnd(engine, **kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._run, name="pinls-http-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("HTTP front end failed to start in 10s")
+        if self._start_error is not None:
+            raise self._start_error
+
+    _start_error: BaseException | None = None
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.front.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the creator
+            self._start_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        self._loop.run_forever()
+        # stop() stops the loop after draining; close it here so the
+        # owning thread is the one that tears its loop down
+        self._loop.close()
+
+    @property
+    def port(self) -> int:
+        return self.front.port
+
+    @property
+    def url(self) -> str:
+        return self.front.url
+
+    def stop(self) -> dict:
+        """Drain on the server's loop, stop it, join the thread."""
+        if self._stopped:
+            return {"drained": True, "already": True}
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(
+            self.front.drain(), self._loop
+        )
+        summary = future.result(timeout=self.front.drain_seconds + 30.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        return summary
+
+    def __enter__(self) -> "BackgroundServer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+
+def run_server(
+    engine: QueryEngine,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    tenants: TenantAdmission | None = None,
+    engine_threads: int = 4,
+    drain_seconds: float = DEFAULT_DRAIN_SECONDS,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    read_timeout: float = DEFAULT_READ_TIMEOUT,
+    write_timeout: float = DEFAULT_WRITE_TIMEOUT,
+    out=None,
+) -> int:
+    """Blocking entry point: serve until SIGTERM/SIGINT, drain, exit 0.
+
+    Prints one ``serving on http://host:port`` line once bound (so
+    wrappers and CI can discover an ephemeral port), then per-tenant
+    shed lines and the drain status on shutdown.  Returns the process
+    exit code — 0 after a clean drain.
+    """
+    out = out or sys.stdout
+    front = HTTPFrontEnd(
+        engine,
+        host=host,
+        port=port,
+        tenants=tenants,
+        engine_threads=engine_threads,
+        drain_seconds=drain_seconds,
+        max_body_bytes=max_body_bytes,
+        read_timeout=read_timeout,
+        write_timeout=write_timeout,
+    )
+
+    async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        await front.start()
+        print(f"serving on {front.url}", file=out, flush=True)
+        await stop.wait()
+        print("drain: signal received, draining", file=out, flush=True)
+        await front.drain()
+
+    asyncio.run(_serve())
+    for line in front.drain_lines():
+        print(line, file=out)
+    if hasattr(out, "flush"):
+        out.flush()
+    return 0

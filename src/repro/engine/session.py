@@ -519,6 +519,11 @@ class QueryEngine:
         self._sync_cache_stats()
         return {
             "status": status,
+            # degraded is still *ready*: a lower tier (down to the
+            # approx floor on approx=True engines) answers every query.
+            # Only a closed engine stops serving — /healthz keys its
+            # 200-vs-503 decision off exactly this bit.
+            "ready": not self._closed,
             "tier": tier,
             "breakers": self.ladder.snapshot(),
             "admission": (
@@ -829,6 +834,7 @@ class QueryEngine:
         workers: int | None = None,
         deadline_seconds: float | None = None,
         priority: int = 0,
+        tenant: str | None = None,
         **algorithm_kwargs,
     ) -> LSResult:
         """Answer one PRIME-LS query against the ingested fleet.
@@ -869,11 +875,19 @@ class QueryEngine:
         ``priority`` only matters to batch admission under the
         ``by-priority`` policy (single queries are admitted FIFO) but
         is recorded on the shed outcome either way.
+
+        ``tenant`` tags the query's admission span (and shed outcome)
+        with the multi-tenant front end's tenant name; the engine
+        itself stays tenant-blind — per-tenant budgets are enforced by
+        :class:`~repro.engine.admission.TenantAdmission` in
+        :mod:`repro.engine.server` before the query reaches here.
         """
         self._check_open()
         candidates = list(candidates)
         trace = self.tracer.start("query", algorithm=algorithm)
         admission_span = trace.child("admission")
+        if tenant is not None:
+            admission_span.set(tenant=tenant)
         phantom = self._apply_parent_faults(self.stats.queries)
         if self.admission is None:
             admission_span.finish(admitted=True)
@@ -896,7 +910,7 @@ class QueryEngine:
             admission_span.finish(admitted=False)
             shed = self._shed(
                 "queue-full", priority=priority, algorithm=algorithm,
-                tau=tau, m=len(candidates),
+                tau=tau, m=len(candidates), tenant=tenant,
             )
             raise QueryShedError(shed)
         admission_span.finish(admitted=True)
@@ -907,6 +921,50 @@ class QueryEngine:
             )
         finally:
             self.admission.release()
+
+    def query_approx(
+        self,
+        candidates: Sequence[Candidate],
+        pf: ProbabilityFunction | None = None,
+        tau: float = 0.7,
+        algorithm: str = "PIN-VO",
+        reason: str = "overload",
+        tenant: str | None = None,
+    ) -> LSResult:
+        """Answer one query from the approximate (sketch) tier directly.
+
+        The shed alternative an *external* admission layer can take:
+        the HTTP front end calls this when a tenant's budget overflows
+        on an approx-enabled engine, answering the over-budget request
+        in O(k) per candidate with an advertised error bound instead
+        of refusing it — the same routing engine-level admission takes
+        internally.  No admission slot is consumed (the estimate is too
+        cheap to need one).  Requires ``approx=True`` and an algorithm
+        in :attr:`APPROX_ALGORITHMS`; the result is labelled
+        (``quality="approx"`` unless the sketch is exhaustive) and
+        accounted like every approximate answer (stats, JSONL record
+        with ``approx_reason``, metrics, trace).
+        """
+        self._check_open()
+        if not self.approx:
+            raise RuntimeError(
+                "query_approx needs an approx-enabled engine "
+                "(QueryEngine(approx=True))"
+            )
+        if algorithm not in self.APPROX_ALGORITHMS:
+            raise ValueError(
+                f"the approximate tier cannot answer {algorithm!r}; "
+                f"expected one of {', '.join(self.APPROX_ALGORITHMS)}"
+            )
+        trace = self.tracer.start("query", algorithm=algorithm)
+        admission_span = trace.child("admission")
+        if tenant is not None:
+            admission_span.set(tenant=tenant)
+        admission_span.finish(admitted=False, approx=True)
+        return self._query_one(
+            list(candidates), pf, tau, algorithm, None, None, {},
+            trace=trace, approx_reason=reason,
+        )
 
     def _query_one(
         self,
@@ -1043,6 +1101,7 @@ class QueryEngine:
         tau: float,
         m: int,
         batch_size: int = 1,
+        tenant: str | None = None,
     ) -> QueryShed:
         """Account one shed query: id, counters, report, JSONL record."""
         query_id = self.stats.queries
@@ -1056,6 +1115,7 @@ class QueryEngine:
             algorithm=algorithm,
             tau=float(tau),
             candidates=m,
+            tenant=tenant,
         )
         self.admission.report.note_shed(shed)
         # shed queries never executed, so they carry no span tree
@@ -1072,6 +1132,7 @@ class QueryEngine:
             "shed_reason": reason,
             "shed_policy": self.admission.policy,
             "priority": priority,
+            "tenant": tenant,
             "batch_size": batch_size,
             "best_candidate": None,
             "best_influence": None,

@@ -47,7 +47,7 @@ from repro.engine import (
     worker_spans,
 )
 from repro.engine.parallel import fork_available
-from repro.engine.trace import Span, record_span
+from repro.engine.trace import record_span
 from repro.prob import PowerLawPF
 
 from .helpers import make_candidates, make_objects
@@ -468,6 +468,46 @@ class TestEngineMetrics:
     def test_bad_port_rejected(self):
         with pytest.raises(ValueError):
             MetricsServer(MetricsRegistry(), port=70000)
+
+
+class TestMetricsServerLifecycle:
+    def test_close_is_idempotent(self):
+        server = MetricsServer(MetricsRegistry(), port=0)
+        assert server.started
+        server.close()
+        assert not server.started
+        server.close()  # double close must not raise
+
+    def test_close_without_start_is_safe(self):
+        server = MetricsServer(MetricsRegistry(), port=0, start=False)
+        assert not server.started
+        server.close()  # never bound: still safe
+
+    def test_failed_bind_leaves_instance_closeable(self):
+        holder = MetricsServer(MetricsRegistry(), port=0)
+        try:
+            clash = MetricsServer(
+                MetricsRegistry(), port=holder.port, start=False
+            )
+            with pytest.raises(OSError):
+                clash.start()
+            assert not clash.started
+            clash.close()  # close after a failed bind must not raise
+        finally:
+            holder.close()
+
+    def test_start_is_idempotent_and_restartable(self):
+        server = MetricsServer(MetricsRegistry(), port=0, start=False)
+        assert server.port == 0  # requested port until bound
+        server.start()
+        bound = server.port
+        assert bound > 0
+        assert server.start() is server  # no-op while serving
+        assert server.port == bound
+        server.close()
+        server.start()  # a fresh ephemeral bind after close
+        assert server.started
+        server.close()
 
 
 # ---------------------------------------------------------------------

@@ -44,6 +44,8 @@ from repro.engine import (
     QueryShed,
     QueryShedError,
     SupervisorPolicy,
+    TenantAdmission,
+    TenantBudget,
     fork_available,
     pool_segments,
 )
@@ -155,6 +157,62 @@ class TestAdmissionController:
         assert snap["inflight"] == 1
         assert snap["free_slots"] == 3
         assert snap["offered"] == 1 and snap["admitted"] == 1
+        assert snap["over_releases"] == 0
+
+    def test_over_release_is_clamped_and_counted(self):
+        # Releasing more slots than are held must not mint phantom
+        # capacity: a double release would let the controller admit
+        # capacity + excess queries.
+        ctl = AdmissionController(1, max_queue_depth=0)
+        assert ctl.try_acquire()
+        ctl.release()
+        ctl.release()            # the lifecycle bug: one release too many
+        assert ctl.inflight == 0
+        assert ctl.over_releases == 1
+        # capacity is still 1 — not widened by the bogus release
+        assert ctl.try_acquire()
+        assert not ctl.try_acquire()
+        ctl.release(5)           # releases 1 held + 4 bogus
+        assert ctl.inflight == 0
+        assert ctl.over_releases == 5
+        assert ctl.snapshot()["over_releases"] == 5
+        with pytest.raises(ValueError):
+            ctl.release(-1)
+
+
+class TestTenantAdmission:
+    def test_budget_validates_like_a_controller(self):
+        with pytest.raises(ValueError):
+            TenantBudget(max_inflight=0)
+        with pytest.raises(ValueError):
+            TenantBudget(max_inflight=1, policy="nope")
+        budget = TenantBudget(max_inflight=2, max_queue_depth=1)
+        assert budget.controller().capacity == 3
+
+    def test_controllers_are_lazy_and_per_tenant(self):
+        tenants = TenantAdmission(
+            default=TenantBudget(max_inflight=1, max_queue_depth=0),
+            budgets={"big": TenantBudget(max_inflight=8)},
+        )
+        assert tenants.tenants() == []
+        assert tenants.controller("a") is tenants.controller("a")
+        assert tenants.controller("big").max_inflight == 8
+        assert tenants.controller("a").max_inflight == 1
+        assert tenants.tenants() == ["a", "big"]
+
+    def test_one_tenant_overflow_does_not_shed_the_other(self):
+        tenants = TenantAdmission(
+            default=TenantBudget(max_inflight=1, max_queue_depth=0),
+        )
+        assert tenants.try_acquire("bulk")
+        assert not tenants.try_acquire("bulk")   # bulk's budget is full
+        assert tenants.try_acquire("victim")     # victim's is not
+        tenants.release("bulk")
+        tenants.release("victim")
+        snap = tenants.snapshot()
+        assert snap["bulk"]["offered"] == 2
+        assert snap["victim"]["offered"] == 1
+        assert tenants.budget_for("anyone").max_inflight == 1
 
 
 # ---------------------------------------------------------------------------
@@ -575,7 +633,24 @@ class TestHealth:
     def test_health_reports_closed(self, world):
         engine = QueryEngine(world)
         engine.close()
-        assert engine.health()["status"] == "closed"
+        h = engine.health()
+        assert h["status"] == "closed"
+        assert h["ready"] is False
+
+    def test_open_engine_is_ready_even_when_degraded(self, world):
+        # every exact tier down on an approx engine: the sketch floor
+        # still answers, so the engine is degraded but *ready*
+        engine = QueryEngine(world, approx=True)
+        engine.ladder.trip_exact_tiers()
+        h = engine.health()
+        assert h["status"] == "degraded"
+        assert h["tier"] == "approx"
+        assert h["ready"] is True
+        # a fully healthy engine is ready too
+        fresh = QueryEngine(world)
+        assert fresh.health()["ready"] is True
+        fresh.close()
+        engine.close()
 
     @fork_only
     def test_health_reports_degraded_when_fork_breaker_open(

@@ -1,0 +1,608 @@
+"""The HTTP front end: routing, admission, deadlines, drain, loadgen."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import select_location
+from repro.engine import (
+    QueryEngine,
+    TenantAdmission,
+    TenantBudget,
+    TenantLoad,
+    run_load_sync,
+)
+from repro.engine.loadgen import _percentile
+from repro.engine.server import BackgroundServer
+
+from .helpers import make_candidates, make_objects
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_objects(np.random.default_rng(7), 18, n_range=(1, 8))
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    return make_candidates(np.random.default_rng(8), 6)
+
+
+def _coords(candidates):
+    return [[float(c.x), float(c.y)] for c in candidates]
+
+
+def _request(port, method, path, body=None, headers=None, timeout=30.0):
+    """One HTTP exchange; returns (status, parsed-or-text body)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        if isinstance(body, dict):
+            body = json.dumps(body).encode()
+        conn.request(method, path, body=body, headers=headers or {})
+        resp = conn.getresponse()
+        raw = resp.read()
+    finally:
+        conn.close()
+    text = raw.decode("utf-8", "replace")
+    if resp.headers.get("Content-Type", "").startswith("application/json"):
+        return resp.status, json.loads(text)
+    return resp.status, text
+
+
+def _raw_exchange(port, data: bytes, timeout=10.0) -> bytes:
+    """Write raw bytes, read the full response (for malformed HTTP)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as s:
+        s.sendall(data)
+        chunks = []
+        while True:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip correctness
+# ---------------------------------------------------------------------------
+class TestQueryRoundtrip:
+    @pytest.fixture(scope="class")
+    def server(self, world):
+        with BackgroundServer(QueryEngine(world)) as server:
+            yield server
+
+    def test_query_matches_direct_selection(self, server, world, candidates):
+        status, out = _request(
+            server.port, "POST", "/v1/query",
+            {"candidates": _coords(candidates), "tau": 0.7,
+             "algorithm": "PIN-VO", "tenant": "acme"},
+        )
+        want = select_location(
+            world, candidates, tau=0.7, algorithm="PIN-VO"
+        )
+        assert status == 200
+        assert out["tenant"] == "acme"
+        assert out["quality"] == "exact"
+        assert out["best_influence"] == want.best_influence
+        best = out["best_candidate"]
+        assert (best["x"], best["y"]) == (
+            want.best_candidate.x, want.best_candidate.y
+        )
+
+    def test_pf_and_candidate_objects_accepted(self, server, candidates):
+        status, out = _request(
+            server.port, "POST", "/v1/query",
+            {
+                "candidates": [
+                    {"x": c.x, "y": c.y, "id": c.candidate_id}
+                    for c in candidates
+                ],
+                "pf": {"name": "powerlaw", "rho": 0.8},
+            },
+        )
+        assert status == 200 and out["tenant"] == "default"
+
+    def test_tenant_header_applies_when_body_has_none(
+        self, server, candidates
+    ):
+        status, out = _request(
+            server.port, "POST", "/v1/query",
+            {"candidates": _coords(candidates)},
+            headers={"X-Tenant": "from-header"},
+        )
+        assert status == 200 and out["tenant"] == "from-header"
+
+    def test_batch_preserves_order_and_tenants(
+        self, server, world, candidates
+    ):
+        status, out = _request(
+            server.port, "POST", "/v1/batch",
+            {"queries": [
+                {"candidates": _coords(candidates), "tenant": "a"},
+                {"candidates": _coords(candidates[:3]), "tenant": "b"},
+            ]},
+        )
+        assert status == 200
+        results = out["results"]
+        assert [r["tenant"] for r in results] == ["a", "b"]
+        want = select_location(world, candidates, tau=0.7)
+        assert results[0]["best_influence"] == want.best_influence
+
+    def test_healthz_ok_and_shape(self, server):
+        status, h = _request(server.port, "GET", "/healthz")
+        assert status == 200
+        assert h["ready"] is True and h["status"] in ("ok", "degraded")
+        assert "tenants" in h and h["http"]["draining"] is False
+
+    def test_metrics_page_has_http_series(self, server, candidates):
+        _request(
+            server.port, "POST", "/v1/query",
+            {"candidates": _coords(candidates), "tenant": "metered"},
+        )
+        status, text = _request(server.port, "GET", "/metrics")
+        assert status == 200
+        assert "# TYPE pinls_http_requests_total counter" in text
+        assert 'tenant="metered"' in text
+        assert "pinls_http_request_seconds_bucket" in text
+        # the scrape itself is in flight while the gauge is sampled
+        assert "pinls_http_inflight_requests 1" in text
+
+
+# ---------------------------------------------------------------------------
+# Typed errors — malformed input never produces a traceback
+# ---------------------------------------------------------------------------
+class TestTypedErrors:
+    @pytest.fixture(scope="class")
+    def server(self, world):
+        with BackgroundServer(
+            QueryEngine(world), max_body_bytes=4096
+        ) as server:
+            yield server
+
+    def _error(self, server, *args, **kwargs):
+        status, out = _request(server.port, *args, **kwargs)
+        assert isinstance(out, dict) and "error" in out, out
+        err = out["error"]
+        assert err["status"] == status
+        return status, err["code"]
+
+    def test_malformed_json_is_400(self, server):
+        assert self._error(
+            server, "POST", "/v1/query", b"{not json"
+        ) == (400, "bad-json")
+
+    def test_non_object_json_is_400(self, server):
+        assert self._error(
+            server, "POST", "/v1/query", b"[1, 2]"
+        ) == (400, "bad-json")
+
+    def test_missing_candidates_is_400(self, server):
+        assert self._error(
+            server, "POST", "/v1/query", {"tau": 0.5}
+        ) == (400, "bad-candidates")
+
+    def test_bad_tau_and_timeout_are_400(self, server, candidates):
+        body = {"candidates": _coords(candidates), "tau": 1.5}
+        assert self._error(server, "POST", "/v1/query", body) == (
+            400, "bad-tau",
+        )
+        body = {"candidates": _coords(candidates), "timeout_ms": -1}
+        assert self._error(server, "POST", "/v1/query", body) == (
+            400, "bad-timeout",
+        )
+
+    def test_unknown_algorithm_is_400(self, server, candidates):
+        status, code = self._error(
+            server, "POST", "/v1/query",
+            {"candidates": _coords(candidates), "algorithm": "MAGIC"},
+        )
+        assert (status, code) == (400, "bad-query")
+
+    def test_unknown_pf_is_400(self, server, candidates):
+        assert self._error(
+            server, "POST", "/v1/query",
+            {"candidates": _coords(candidates), "pf": {"name": "cauchy"}},
+        ) == (400, "bad-pf")
+
+    def test_unknown_route_is_404_and_wrong_method_is_405(self, server):
+        assert self._error(server, "GET", "/nope") == (404, "not-found")
+        assert self._error(server, "GET", "/v1/query") == (
+            405, "method-not-allowed",
+        )
+        assert self._error(server, "POST", "/healthz") == (
+            405, "method-not-allowed",
+        )
+
+    def test_oversized_body_is_413(self, server):
+        big = b"x" * 8192
+        status, code = self._error(server, "POST", "/v1/query", big)
+        assert (status, code) == (413, "body-too-large")
+
+    def test_missing_content_length_is_411(self, server):
+        raw = _raw_exchange(
+            server.port,
+            b"POST /v1/query HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        assert raw.startswith(b"HTTP/1.1 411")
+        assert b"length-required" in raw
+
+    def test_chunked_encoding_is_411(self, server):
+        raw = _raw_exchange(
+            server.port,
+            b"POST /v1/query HTTP/1.1\r\nHost: x\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n",
+        )
+        assert raw.startswith(b"HTTP/1.1 411")
+
+    def test_malformed_request_line_is_400(self, server):
+        raw = _raw_exchange(server.port, b"NONSENSE\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 400")
+
+    def test_tiny_deadline_is_504(self, server, candidates):
+        status, code = self._error(
+            server, "POST", "/v1/query",
+            {"candidates": _coords(candidates), "timeout_ms": 0.0001},
+        )
+        assert (status, code) == (504, "deadline-exceeded")
+
+    def test_deadline_header_applies(self, server, candidates):
+        status, code = self._error(
+            server, "POST", "/v1/query",
+            {"candidates": _coords(candidates)},
+            headers={"X-Timeout-Ms": "0.0001"},
+        )
+        assert (status, code) == (504, "deadline-exceeded")
+
+
+# ---------------------------------------------------------------------------
+# Per-tenant admission
+# ---------------------------------------------------------------------------
+def _gated_engine(world, gate: threading.Event, gated_tenant="bulk", **kwargs):
+    """An engine whose queries for one tenant block until ``gate`` is set.
+
+    Deterministic overload: a gated in-flight request holds its
+    tenant's budget slot for exactly as long as the test wants.
+    """
+    engine = QueryEngine(world, **kwargs)
+    original = engine.query
+
+    def query(candidates, *args, **kw):
+        if kw.get("tenant") == gated_tenant:
+            assert gate.wait(timeout=30.0), "gate never opened"
+        return original(candidates, *args, **kw)
+
+    engine.query = query
+    return engine
+
+
+class TestTenantIsolation:
+    def test_burst_sheds_the_bursting_tenant_only(self, world, candidates):
+        gate = threading.Event()
+        engine = _gated_engine(world, gate)
+        tenants = TenantAdmission(
+            budgets={"bulk": TenantBudget(max_inflight=1, max_queue_depth=0)},
+        )
+        body = {"candidates": _coords(candidates), "tenant": "bulk"}
+        with BackgroundServer(engine, tenants=tenants) as server:
+            results = {}
+
+            def fire(name, payload):
+                results[name] = _request(
+                    server.port, "POST", "/v1/query", payload
+                )
+
+            holder = threading.Thread(target=fire, args=("holder", body))
+            holder.start()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if tenants.controller("bulk").inflight == 1:
+                    break
+                time.sleep(0.005)
+            assert tenants.controller("bulk").inflight == 1
+
+            # bulk's only slot is held: a second bulk request sheds...
+            status, out = _request(server.port, "POST", "/v1/query", body)
+            assert status == 429
+            assert out["error"]["code"] == "shed"
+            assert out["shed"]["tenant"] == "bulk"
+            assert out["shed"]["reason"] == "queue-full"
+            # ...while the victim tenant still gets served
+            status, out = _request(
+                server.port, "POST", "/v1/query",
+                {"candidates": _coords(candidates), "tenant": "victim"},
+            )
+            assert status == 200 and out["tenant"] == "victim"
+
+            gate.set()
+            holder.join(timeout=30.0)
+            assert results["holder"][0] == 200
+            assert tenants.shed_by_tenant() == {"bulk": 1, "victim": 0}
+            status, h = _request(server.port, "GET", "/healthz")
+            assert h["tenants"]["bulk"]["shed"] == 1
+            assert h["tenants"]["victim"]["shed"] == 0
+
+    def test_approx_floor_absorbs_over_budget_requests(
+        self, world, candidates
+    ):
+        gate = threading.Event()
+        # approx_k below the fleet size so sketch answers are genuine
+        # estimates (an exhaustive sample would be labelled "exact")
+        engine = _gated_engine(world, gate, approx=True, approx_k=4)
+        tenants = TenantAdmission(
+            budgets={"bulk": TenantBudget(max_inflight=1, max_queue_depth=0)},
+        )
+        body = {"candidates": _coords(candidates), "tenant": "bulk"}
+        with BackgroundServer(engine, tenants=tenants) as server:
+            results = {}
+
+            def fire():
+                results["holder"] = _request(
+                    server.port, "POST", "/v1/query", body
+                )
+
+            holder = threading.Thread(target=fire)
+            holder.start()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if tenants.controller("bulk").inflight == 1:
+                    break
+                time.sleep(0.005)
+
+            # over budget on an approx engine: answered, not shed
+            status, out = _request(server.port, "POST", "/v1/query", body)
+            assert status == 200
+            assert out["quality"] == "approx"
+            assert out["error_bound"] is not None
+            gate.set()
+            holder.join(timeout=30.0)
+            assert results["holder"][0] == 200
+            assert results["holder"][1]["quality"] == "exact"
+            assert tenants.shed_by_tenant()["bulk"] == 0
+
+    def test_batch_admission_is_per_tenant(self, world, candidates):
+        engine = QueryEngine(world)
+        tenants = TenantAdmission(
+            budgets={"small": TenantBudget(max_inflight=1, max_queue_depth=0)},
+        )
+        coords = _coords(candidates)
+        with BackgroundServer(engine, tenants=tenants) as server:
+            status, out = _request(
+                server.port, "POST", "/v1/batch",
+                {"queries": [
+                    {"candidates": coords, "tenant": "small"},
+                    {"candidates": coords, "tenant": "small"},
+                    {"candidates": coords, "tenant": "roomy"},
+                ]},
+            )
+            assert status == 200
+            small_a, small_b, roomy = out["results"]
+            assert "best_candidate" in small_a
+            assert small_b["error"]["code"] == "shed"
+            assert small_b["shed"]["tenant"] == "small"
+            assert "best_candidate" in roomy
+            # slots were released: the next round admits again
+            status, out = _request(
+                server.port, "POST", "/v1/batch",
+                {"queries": [{"candidates": coords, "tenant": "small"}]},
+            )
+            assert "best_candidate" in out["results"][0]
+
+
+# ---------------------------------------------------------------------------
+# /healthz across ladder states
+# ---------------------------------------------------------------------------
+class TestHealthzLadderStates:
+    def test_exact_tiers_down_with_approx_is_degraded_but_ready(
+        self, world
+    ):
+        engine = QueryEngine(world, approx=True)
+        engine.ladder.trip_exact_tiers()
+        with BackgroundServer(engine) as server:
+            status, h = _request(server.port, "GET", "/healthz")
+            assert status == 200
+            assert h["status"] == "degraded"
+            assert h["tier"] == "approx"
+            assert h["ready"] is True
+
+    def test_closed_engine_is_503(self, world):
+        engine = QueryEngine(world)
+        with BackgroundServer(engine) as server:
+            engine.close()
+            status, h = _request(server.port, "GET", "/healthz")
+            assert status == 503
+            assert h["status"] == "closed" and h["ready"] is False
+            # and a query against the closed engine is a typed 503
+            status, out = _request(
+                server.port, "POST", "/v1/query",
+                {"candidates": [[0.0, 0.0]]},
+            )
+            assert status == 503
+            assert out["error"]["code"] == "engine-closed"
+
+
+# ---------------------------------------------------------------------------
+# Drain
+# ---------------------------------------------------------------------------
+class TestDrain:
+    def test_drain_finishes_inflight_then_refuses(self, world, candidates):
+        gate = threading.Event()
+        engine = _gated_engine(world, gate)
+        server = BackgroundServer(engine, drain_seconds=10.0)
+        port = server.port
+        results = {}
+
+        def fire():
+            results["held"] = _request(
+                port, "POST", "/v1/query",
+                {"candidates": _coords(candidates), "tenant": "bulk"},
+            )
+
+        holder = threading.Thread(target=fire)
+        holder.start()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if server.front._inflight >= 1:
+                break
+            time.sleep(0.005)
+
+        stopper = threading.Thread(target=server.stop)
+        stopper.start()
+        time.sleep(0.05)
+        gate.set()
+        stopper.join(timeout=30.0)
+        holder.join(timeout=30.0)
+        # the in-flight request completed during the drain window
+        assert results["held"][0] == 200
+        assert server.front.draining
+        # the listener is gone: new connections are refused
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=2.0)
+        # the engine was closed by the drain
+        assert engine.health()["status"] == "closed"
+        # drain lines are grep-able per tenant
+        lines = "\n".join(server.front.drain_lines())
+        assert re.search(r"tenant bulk: offered=1 admitted=1 shed=0", lines)
+        assert "drain: complete" in lines
+
+    def test_stop_is_idempotent(self, world):
+        server = BackgroundServer(QueryEngine(world))
+        first = server.stop()
+        second = server.stop()
+        assert first["drained"] is True
+        assert second["drained"] is True
+
+
+# ---------------------------------------------------------------------------
+# The blocking entry point (subprocess, SIGTERM)
+# ---------------------------------------------------------------------------
+class TestRunServerProcess:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--max-inflight", "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=str(tmp_path),
+        )
+        try:
+            line = proc.stdout.readline()
+            m = re.search(r"serving on http://127\.0\.0\.1:(\d+)", line)
+            assert m, f"no serving line in {line!r}"
+            port = int(m.group(1))
+            status, out = _request(
+                port, "POST", "/v1/query",
+                {"candidates": [[1.0, 1.0], [5.0, 5.0]], "tenant": "t0"},
+            )
+            assert status == 200
+            proc.send_signal(signal.SIGTERM)
+            output, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, output
+        assert "tenant t0: offered=1 admitted=1 shed=0" in output
+        assert "drain: complete" in output
+
+
+# ---------------------------------------------------------------------------
+# Load generator
+# ---------------------------------------------------------------------------
+class TestLoadgen:
+    def test_percentile_interpolates(self):
+        assert _percentile([], 0.99) == 0.0
+        assert _percentile([5.0], 0.5) == 5.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+
+    def test_tenant_load_validates(self):
+        with pytest.raises(ValueError):
+            TenantLoad("t", 0.0)
+
+    def test_open_loop_run_reports_per_tenant(self, world, candidates):
+        engine = QueryEngine(world)
+        with BackgroundServer(engine) as server:
+            report = run_load_sync(
+                [
+                    TenantLoad(
+                        "a", 30.0, {"candidates": _coords(candidates)}
+                    ),
+                    TenantLoad(
+                        "b", 10.0, {"candidates": _coords(candidates)}
+                    ),
+                ],
+                host="127.0.0.1",
+                port=server.port,
+                duration=0.5,
+                seed=3,
+            )
+        assert set(report.tenants) == {"a", "b"}
+        a = report.tenants["a"]
+        assert a.sent > 0 and a.completed > 0
+        assert a.completed + a.shed + sum(a.errors.values()) == a.sent
+        assert a.percentile_ms(0.99) >= a.percentile_ms(0.5) > 0
+        d = report.to_dict()
+        assert d["total_sent"] == report.total_sent
+        lines = report.summary_lines()
+        assert any("loadgen tenant a:" in line for line in lines)
+
+    def test_duplicate_tenants_rejected(self):
+        with pytest.raises(ValueError):
+            run_load_sync(
+                [TenantLoad("a", 1.0), TenantLoad("a", 2.0)],
+                host="127.0.0.1",
+                port=9,
+                duration=0.1,
+            )
+
+
+# ---------------------------------------------------------------------------
+# CLI flag validation for the new commands
+# ---------------------------------------------------------------------------
+class TestServeCLIFlags:
+    def test_server_flags_rejected_elsewhere(self, capsys):
+        from repro.cli import main
+
+        assert main(["demo", "--port", "1"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_values(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--port", "-1"]) == 2
+        assert main(["serve", "--workers", "-2"]) == 2
+        assert main(["serve", "--pool"]) == 2  # pool needs workers >= 2
+        assert main(["serve", "--shed-policy", "nope"]) == 2
+        assert main(["serve", "--drain-seconds", "-1"]) == 2
+        assert main(["serve", "--max-inflight", "0"]) == 2
+        capsys.readouterr()
+
+    def test_serve_bench_server_rejects_bad_values(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve-bench", "--server", "--offered-qps", "0"]) == 2
+        assert main(["serve-bench", "--server", "--duration", "0"]) == 2
+        assert main(["serve-bench", "--server", "--tenants", "0"]) == 2
+        assert main(
+            ["serve-bench", "--server-url", "not-a-url"]
+        ) == 2
+        capsys.readouterr()
