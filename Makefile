@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-record bench-ladder bench-server report
+.PHONY: test bench bench-record bench-ladder bench-server bench-streaming report
 
 test:            ## tier-1 test suite
 	$(PY) -m pytest -x -q
@@ -19,6 +19,9 @@ bench-ladder:    ## small-rung scale-ladder smoke (asserts columnar/legacy bit-i
 
 bench-server:    ## HTTP front-end overload curves -> BENCH_8.json + results/engine_http_frontend.txt
 	$(PY) benchmarks/record_bench.py --http
+
+bench-streaming: ## streaming chaos smoke (storm + pool crash, bit-identity gate; full rung: --streaming -> BENCH_9.json)
+	$(PY) benchmarks/record_bench.py --streaming-smoke
 
 report:          ## regenerate REPORT.md (live claim audit)
 	$(PY) -m repro report

@@ -17,6 +17,10 @@ Contents map directly onto the paper:
   PIN-VO* variant without the pruning phase,
 * :mod:`repro.core.incremental` — the incremental-maintenance
   extension sketched as future work in §7,
+* :mod:`repro.core.safe_region` — per-object safe regions over the
+  IA/NIB geometry: the deformation budget within which a position
+  update cannot flip any candidate's verdict (shared by the
+  incremental, streaming, and subscription engines),
 * :mod:`repro.core.sketch` — bottom-k influence sketches: sublinear
   approximate ``inf(c)`` with a provable error bound (the serving
   engine's approximate tier).
@@ -29,6 +33,14 @@ from repro.core.influence import (
     validate_pair,
 )
 from repro.core.object_table import ObjectEntry, ObjectTable
+from repro.core.safe_region import (
+    SIDE_BAND,
+    SIDE_IA,
+    SIDE_OUT,
+    SafeRegion,
+    margins_span,
+    pair_side,
+)
 from repro.core.result import Instrumentation, LSResult
 from repro.core.naive import NaiveAlgorithm
 from repro.core.pinocchio import Pinocchio
@@ -72,6 +84,12 @@ __all__ = [
     "validate_pair",
     "ObjectEntry",
     "ObjectTable",
+    "SafeRegion",
+    "margins_span",
+    "pair_side",
+    "SIDE_OUT",
+    "SIDE_IA",
+    "SIDE_BAND",
     "Instrumentation",
     "LSResult",
     "NaiveAlgorithm",

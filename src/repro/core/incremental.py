@@ -12,6 +12,10 @@ Costs per update (``m`` candidates, ``r`` objects):
 * ``add_object``/``remove_object`` — one IA/NIB classification against
   the candidate R-tree plus validation of the surviving band
   (exactly the per-object work of Algorithm 2).
+* ``update_object`` — free when the move stays inside the object's
+  :class:`repro.core.safe_region.SafeRegion` (no candidate examined,
+  ``counters.safe_region_hits``); otherwise a diff against the
+  candidates inside the union of the old and new NIB boxes.
 * ``add_candidate`` — one pass over the objects, pruned per object by
   the ``minMaxRadius`` bounds before any validation.
 * ``remove_candidate`` — O(1) bookkeeping.
@@ -28,6 +32,7 @@ from repro.core.influence import influence_threshold_log, validate_pair
 from repro.core.minmax_radius import MinMaxRadiusCache
 from repro.core.object_table import ObjectEntry
 from repro.core.result import Instrumentation
+from repro.core.safe_region import SafeRegion
 from repro.index.rtree import RTree
 from repro.model.candidate import Candidate
 from repro.model.moving_object import MovingObject
@@ -54,6 +59,8 @@ class IncrementalPrimeLS:
         self._influence: dict[int, int] = {}
         self._entries: dict[int, ObjectEntry] = {}
         self._influenced_by: dict[int, set[int]] = {}
+        self._safe_regions: dict[int, SafeRegion] = {}
+        self._cand_xy_cache: np.ndarray | None = None
         self.counters = Instrumentation()
 
     # ------------------------------------------------------------------
@@ -66,6 +73,9 @@ class IncrementalPrimeLS:
             raise KeyError(f"candidate {cid} already present")
         self._candidates[cid] = candidate
         self._rtree.insert(cid, candidate.x, candidate.y)
+        # A new candidate can only shrink safe-region slacks.
+        self._safe_regions.clear()
+        self._cand_xy_cache = None
         influence = 0
         for oid, entry in self._entries.items():
             if self._pair_influenced(entry, candidate.x, candidate.y):
@@ -83,6 +93,10 @@ class IncrementalPrimeLS:
         del self._influence[candidate_id]
         for influenced in self._influenced_by.values():
             influenced.discard(candidate_id)
+        # Removal only widens true slacks; recompute lazily anyway so
+        # cached regions never reference a dead candidate's geometry.
+        self._safe_regions.clear()
+        self._cand_xy_cache = None
 
     # ------------------------------------------------------------------
     # Object updates
@@ -111,6 +125,9 @@ class IncrementalPrimeLS:
                 influenced.add(cid)
                 self._influence[cid] += 1
         self._influenced_by[oid] = influenced
+        self._safe_regions[oid] = SafeRegion.compute(
+            entry.mbr, radius, self._cand_xy()
+        )
 
     def remove_object(self, object_id: int) -> None:
         """Unregister an object, rolling back its influence contributions."""
@@ -120,11 +137,65 @@ class IncrementalPrimeLS:
             if cid in self._influence:
                 self._influence[cid] -= 1
         del self._entries[object_id]
+        self._safe_regions.pop(object_id, None)
 
     def update_object(self, obj: MovingObject) -> None:
-        """Replace an object's positions (remove + add)."""
-        self.remove_object(obj.object_id)
-        self.add_object(obj)
+        """Replace an object's positions, recomputing only what moved.
+
+        The safe-region fast path: if the new MBR/radius stay within
+        the object's cached :class:`SafeRegion`, no candidate's IA/NIB
+        verdict can have changed and the update costs O(1).  Otherwise
+        the diff touches exactly the candidates inside the new NIB box
+        plus the ones currently marked influenced — never the whole
+        candidate set, and never a from-scratch re-add.
+        """
+        oid = obj.object_id
+        old = self._entries.get(oid)
+        if old is None:
+            raise KeyError(f"unknown object {oid}")
+        radius = self._radius_cache.radius(obj.n_positions)
+
+        if radius is None:
+            # Became uninfluenceable: roll back and keep a tombstone.
+            for cid in self._influenced_by[oid]:
+                if cid in self._influence:
+                    self._influence[cid] -= 1
+            self._influenced_by[oid].clear()
+            self.counters.dead_objects += 1
+            self._entries[oid] = ObjectEntry(obj, float("nan"), obj.mbr)
+            self._safe_regions.pop(oid, None)
+            return
+
+        region = self._safe_regions.get(oid)
+        if region is not None and region.covers(obj.mbr, radius):
+            self._entries[oid] = ObjectEntry(obj, radius, obj.mbr)
+            self.counters.safe_region_hits += 1
+            return
+
+        entry = ObjectEntry(obj, radius, obj.mbr)
+        self._entries[oid] = entry
+        influenced = self._influenced_by[oid]
+        # Candidates outside the new NIB box are certainly not
+        # influenced now; if they also were not influenced before,
+        # nothing changes — so the diff set is the new NIB box hits
+        # plus the currently marked candidates (for rollback).
+        affected = set(self._rtree.query_rect(entry.nib_bbox))
+        affected |= influenced
+        for cid in affected:
+            candidate = self._candidates.get(cid)
+            if candidate is None:
+                continue  # removed candidate still in the R-tree
+            now = self._pair_influenced(entry, candidate.x, candidate.y)
+            was = cid in influenced
+            if now and not was:
+                influenced.add(cid)
+                self._influence[cid] += 1
+            elif was and not now:
+                influenced.discard(cid)
+                self._influence[cid] -= 1
+        self._safe_regions[oid] = SafeRegion.compute(
+            entry.mbr, radius, self._cand_xy()
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -151,6 +222,15 @@ class IncrementalPrimeLS:
         return len(self._candidates)
 
     # ------------------------------------------------------------------
+    def _cand_xy(self) -> np.ndarray:
+        """The ``(m, 2)`` candidate coordinate array, cached."""
+        if self._cand_xy_cache is None:
+            self._cand_xy_cache = np.array(
+                [(c.x, c.y) for c in self._candidates.values()],
+                dtype=float,
+            ).reshape(-1, 2)
+        return self._cand_xy_cache
+
     def _pair_influenced(self, entry: ObjectEntry, cx: float, cy: float) -> bool:
         """IA/NIB bounds first, exact validation only in the band."""
         if not np.isfinite(entry.radius):

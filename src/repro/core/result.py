@@ -69,6 +69,9 @@ class Instrumentation:
     #: engine cache entries evicted while this query was served (the
     #: serving engine's bounded LRU caches; 0 outside the engine)
     cache_evictions: int = 0
+    #: position updates absorbed by a safe region with zero candidate
+    #: work (incremental/streaming maintenance only; 0 for one-shot)
+    safe_region_hits: int = 0
 
     def merge(self, other: "Instrumentation") -> None:
         """Accumulate another shard's (or phase's) counters into this one.

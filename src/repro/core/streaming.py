@@ -6,11 +6,15 @@ a stream per object, and only the most recent ``window`` positions of
 each object count (check-ins older than the window no longer describe
 the object's mobility).
 
-Design: per object we keep a deque of its window positions.  When the
-window content changes, the object's contribution is recomputed — but
-only against candidates that could possibly have changed, namely those
-inside the NIB bounding box of the *union* of the old and new activity
-MBRs.  For slow-moving objects this touches a handful of candidates.
+Design: per object we keep a deque of its window positions plus a
+:class:`repro.core.safe_region.SafeRegion` — the deformation budget
+within which no candidate's IA/NIB verdict can change.  An observation
+that stays inside the safe region is absorbed with **zero candidate
+work** (``counters.safe_region_hits``).  Only a boundary crossing
+recomputes, and then only against candidates that could possibly have
+changed: those inside the NIB bounding box of the *union* of the old
+and new activity MBRs.  For slow-moving objects this touches a handful
+of candidates, and for off-boundary objects none at all.
 
 Exactness is preserved: at any instant the reported influences equal a
 batch solve over each object's current window.
@@ -25,6 +29,7 @@ import numpy as np
 from repro.core.influence import influence_threshold_log, validate_pair
 from repro.core.minmax_radius import MinMaxRadiusCache
 from repro.core.result import Instrumentation
+from repro.core.safe_region import SafeRegion
 from repro.geo.mbr import MBR
 from repro.index.rtree import RTree
 from repro.model.candidate import Candidate
@@ -55,6 +60,8 @@ class SlidingWindowPrimeLS:
         self._influence: dict[int, int] = {}
         self._windows: dict[int, deque] = {}
         self._influenced_by: dict[int, set[int]] = {}
+        self._safe_regions: dict[int, SafeRegion] = {}
+        self._cand_xy_cache: np.ndarray | None = None
         self.counters = Instrumentation()
 
     # ------------------------------------------------------------------
@@ -67,6 +74,10 @@ class SlidingWindowPrimeLS:
             raise KeyError(f"candidate {cid} already present")
         self._candidates[cid] = candidate
         self._rtree.insert(cid, candidate.x, candidate.y)
+        # A new candidate can only shrink safe-region slacks; drop them
+        # so the next observation per object recomputes against it.
+        self._safe_regions.clear()
+        self._cand_xy_cache = None
         influence = 0
         for oid in self._windows:
             if self._object_influenced_by_point(oid, candidate.x, candidate.y):
@@ -99,6 +110,7 @@ class SlidingWindowPrimeLS:
         for cid in self._influenced_by.pop(object_id):
             self._influence[cid] -= 1
         del self._windows[object_id]
+        self._safe_regions.pop(object_id, None)
 
     # ------------------------------------------------------------------
     # Queries
@@ -139,6 +151,15 @@ class SlidingWindowPrimeLS:
         ys = [p[1] for p in win]
         return MBR(min(xs), min(ys), max(xs), max(ys))
 
+    def _cand_xy(self) -> np.ndarray:
+        """The ``(m, 2)`` candidate coordinate array, cached."""
+        if self._cand_xy_cache is None:
+            self._cand_xy_cache = np.array(
+                [(c.x, c.y) for c in self._candidates.values()],
+                dtype=float,
+            ).reshape(-1, 2)
+        return self._cand_xy_cache
+
     def _refresh_object(self, object_id: int, old_mbr: MBR | None) -> None:
         """Re-evaluate the object against all possibly affected candidates."""
         win = self._windows[object_id]
@@ -151,6 +172,14 @@ class SlidingWindowPrimeLS:
             for cid in influenced:
                 self._influence[cid] -= 1
             influenced.clear()
+            self._safe_regions.pop(object_id, None)
+            return
+
+        region = self._safe_regions.get(object_id)
+        if region is not None and region.covers(new_mbr, radius):
+            # Every candidate keeps a certain IA/OUT verdict: the marks
+            # are still exact and no candidate needs to be examined.
+            self.counters.safe_region_hits += 1
             return
 
         # Candidates whose verdict can change live in the NIB box of the
@@ -180,6 +209,9 @@ class SlidingWindowPrimeLS:
             elif was and not now:
                 influenced.discard(cid)
                 self._influence[cid] -= 1
+        self._safe_regions[object_id] = SafeRegion.compute(
+            new_mbr, radius, self._cand_xy()
+        )
 
     def _object_influenced_by_point(
         self, object_id: int, cx: float, cy: float

@@ -28,10 +28,15 @@
   behind ``prime-ls serve-bench`` (``--pool``/``--batch`` modes, plus
   the admission/breaker overload knobs),
 * :mod:`repro.engine.server` — the multi-tenant asyncio HTTP front
-  end (``/v1/query``, ``/v1/batch``, ``/healthz``, ``/metrics``) with
-  per-tenant admission, deadline propagation, and graceful drain,
+  end (``/v1/query``, ``/v1/batch``, ``/v1/subscribe``, ``/v1/ingest``,
+  ``/healthz``, ``/metrics``) with per-tenant admission, deadline
+  propagation, and graceful drain,
 * :mod:`repro.engine.loadgen` — the open-loop Poisson load generator
-  measuring p50/p99 and per-tenant shed rate against offered qps.
+  measuring p50/p99 and per-tenant shed rate against offered qps,
+* :mod:`repro.engine.subscriptions` — standing PRIME-LS queries over a
+  live fleet: position updates stream in, each subscription's result
+  set is maintained incrementally through a safe-region index (cost ∝
+  boundary crossings), with versioned snapshots and change events.
 """
 
 from repro.engine.admission import (
@@ -85,6 +90,14 @@ from repro.engine.server import (
     run_server,
 )
 from repro.engine.session import EngineStats, QueryEngine, QueryRequest
+from repro.engine.subscriptions import (
+    SUBSCRIPTION_ALGORITHMS,
+    IngestReport,
+    SubscriptionEngine,
+    SubscriptionEvent,
+    SubscriptionSnapshot,
+    UpdateShed,
+)
 from repro.engine.trace import (
     NOOP_SPAN,
     PHASES,
@@ -140,4 +153,10 @@ __all__ = [
     "EXACT_TIERS",
     "CacheBudget",
     "LRUCache",
+    "SubscriptionEngine",
+    "SubscriptionSnapshot",
+    "SubscriptionEvent",
+    "IngestReport",
+    "UpdateShed",
+    "SUBSCRIPTION_ALGORITHMS",
 ]

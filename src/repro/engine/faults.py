@@ -49,8 +49,11 @@ WORKER_FAULT_KINDS = ("crash", "exception", "delay")
 #: cache to one entry so eviction paths run on demand, and
 #: "exact-down" force-opens every exact tier's circuit breaker (pool,
 #: fork, and — on an approx-enabled engine — serial) so the chaos
-#: drill for the approximate floor is deterministic
-PARENT_FAULT_KINDS = ("overload", "memory-pressure", "exact-down")
+#: drill for the approximate floor is deterministic, and
+#: "update-storm" injects phantom pending updates at the subscription
+#: engine's ingest-admission boundary so update-burst shedding can be
+#: driven deterministically in streaming chaos drills
+PARENT_FAULT_KINDS = ("overload", "memory-pressure", "exact-down", "update-storm")
 
 #: every fault kind the injector understands
 FAULT_KINDS = WORKER_FAULT_KINDS + PARENT_FAULT_KINDS

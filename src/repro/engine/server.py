@@ -16,6 +16,16 @@ Endpoints
   ``timeout_ms``,
 * ``POST /v1/batch`` — ``{"queries": [...]}``, one coalesced admission
   round per tenant through :meth:`QueryEngine.query_batch`,
+* ``POST /v1/subscribe`` — register a standing query on the front
+  end's :class:`~repro.engine.subscriptions.SubscriptionEngine`; same
+  ``candidates``/``tau``/``algorithm``/``pf`` fields as ``/v1/query``,
+  returns the subscription id and its version-1 snapshot,
+* ``POST /v1/ingest`` — stream position updates into the live fleet:
+  ``{"updates": [[object_id, x, y], ...]}`` (or a single
+  ``{"object_id": .., "x": .., "y": ..}``), one coalesced ingest round;
+  returns applied/shed counts and the round's maintenance work,
+* ``GET /v1/subscriptions/{id}`` — the subscription's current
+  versioned snapshot; ``DELETE`` unsubscribes it,
 * ``GET /healthz`` — the engine's readiness probe
   (:meth:`QueryEngine.health`) plus per-tenant admission and front-end
   state; 200 while ready (degraded included — a degraded ladder still
@@ -81,6 +91,7 @@ from repro.engine.admission import (
 )
 from repro.engine.faults import DeadlineExceeded
 from repro.engine.session import QueryEngine, QueryRequest
+from repro.engine.subscriptions import SubscriptionEngine
 from repro.model.candidate import Candidate
 from repro.prob import (
     ConcavePF,
@@ -276,6 +287,7 @@ class HTTPFrontEnd:
         host: str = "127.0.0.1",
         port: int = 0,
         tenants: TenantAdmission | None = None,
+        subscriptions: SubscriptionEngine | None = None,
         engine_threads: int = 4,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         read_timeout: float = DEFAULT_READ_TIMEOUT,
@@ -304,6 +316,13 @@ class HTTPFrontEnd:
         self.host = host
         self._requested_port = int(port)
         self.tenants = tenants or TenantAdmission()
+        # The standing-query tier shares the engine's metrics registry
+        # so one /metrics scrape covers pinls_http_*, pinls_queries_*,
+        # and pinls_sub_* alike.
+        self.subscriptions = subscriptions or SubscriptionEngine(
+            default_pf=engine._default_pf or PowerLawPF(),
+            metrics_registry=engine.metrics,
+        )
         self.max_body_bytes = int(max_body_bytes)
         self.read_timeout = float(read_timeout)
         self.write_timeout = float(write_timeout)
@@ -641,9 +660,22 @@ class HTTPFrontEnd:
             if method != "POST":
                 raise ApiError(405, "method-not-allowed", "use POST")
             return await self._handle_batch(headers, body)
+        if path == "/v1/subscribe":
+            if method != "POST":
+                raise ApiError(405, "method-not-allowed", "use POST")
+            return await self._handle_subscribe(headers, body)
+        if path == "/v1/ingest":
+            if method != "POST":
+                raise ApiError(405, "method-not-allowed", "use POST")
+            return await self._handle_ingest(headers, body)
+        if path.startswith("/v1/subscriptions/"):
+            if method not in ("GET", "DELETE"):
+                raise ApiError(405, "method-not-allowed", "use GET or DELETE")
+            return await self._handle_subscription(method, path)
         raise ApiError(
             404, "not-found",
             f"no route for {path!r}; endpoints: /v1/query, /v1/batch, "
+            "/v1/subscribe, /v1/ingest, /v1/subscriptions/{id}, "
             "/healthz, /metrics",
         )
 
@@ -651,6 +683,7 @@ class HTTPFrontEnd:
         """Readiness: engine health + tenant budgets + front-end state."""
         health = self.engine.health()
         health["tenants"] = self.tenants.snapshot()
+        health["subscriptions"] = self.subscriptions.stats()
         health["http"] = {
             "draining": self._draining,
             "inflight": self._inflight,
@@ -849,6 +882,113 @@ class HTTPFrontEnd:
             raise ApiError(400, "bad-query", str(exc))
         except RuntimeError as exc:
             raise ApiError(503, "engine-closed", str(exc))
+
+    # ------------------------------------------------------------------
+    # /v1/subscribe, /v1/ingest, /v1/subscriptions/{id}
+    # ------------------------------------------------------------------
+    async def _handle_subscribe(self, headers, body):
+        """Register a standing query; answers its version-1 snapshot."""
+        self._check_serving()
+        payload = self._parse_body(body)
+        candidates = _parse_candidates(payload.get("candidates"))
+        tau = payload.get("tau", 0.7)
+        try:
+            tau = float(tau)
+        except (TypeError, ValueError):
+            raise ApiError(400, "bad-tau", f"tau must be a number, got {tau!r}")
+        if not 0.0 < tau < 1.0:
+            raise ApiError(400, "bad-tau", f"tau must be in (0, 1), got {tau}")
+        algorithm = payload.get("algorithm", "PIN-VO")
+        pf = _parse_pf(payload.get("pf"))
+
+        def _subscribe():
+            sub_id = self.subscriptions.subscribe(
+                candidates, tau=tau, pf=pf, algorithm=algorithm
+            )
+            return sub_id, self.subscriptions.snapshot(sub_id)
+
+        sub_id, snap = await self._run_engine(_subscribe)
+        return 200, {
+            "subscription_id": sub_id,
+            "snapshot": snap.to_dict(),
+        }, DEFAULT_TENANT
+
+    async def _handle_ingest(self, headers, body):
+        """One coalesced ingest round of position updates."""
+        self._check_serving()
+        payload = self._parse_body(body)
+        raw = payload.get("updates")
+        if raw is None and "object_id" in payload:
+            raw = [[payload.get("object_id"), payload.get("x"),
+                    payload.get("y")]]
+        if not isinstance(raw, list) or not raw:
+            raise ApiError(
+                400, "bad-updates",
+                'ingest body must be {"updates": [[object_id, x, y], ...]} '
+                'or {"object_id": .., "x": .., "y": ..}',
+            )
+        updates = []
+        for i, entry in enumerate(raw):
+            try:
+                if isinstance(entry, dict):
+                    oid = int(entry["object_id"])
+                    x, y = float(entry["x"]), float(entry["y"])
+                else:
+                    oid = int(entry[0])
+                    x, y = float(entry[1]), float(entry[2])
+            except (KeyError, IndexError, TypeError, ValueError):
+                raise ApiError(
+                    400, "bad-updates",
+                    f"updates[{i}] is not an [object_id, x, y] triple",
+                )
+            updates.append((oid, x, y))
+        report = await self._run_engine(
+            self.subscriptions.ingest_batch, updates
+        )
+        return 200, {
+            "offered": report.offered,
+            "applied": report.applied,
+            "shed": [
+                {"object_id": s.object_id, "reason": s.reason,
+                 "policy": s.policy}
+                for s in report.shed
+            ],
+            "safe_region_hits": report.safe_region_hits,
+            "crossings": report.crossings,
+            "validations": report.validations,
+            "changed_subscriptions": report.changed,
+            "elapsed_ms": round(report.elapsed_seconds * 1000.0, 3),
+        }, DEFAULT_TENANT
+
+    def _parse_subscription_id(self, path: str) -> int:
+        raw = path.rsplit("/", 1)[-1]
+        try:
+            return int(raw)
+        except ValueError:
+            raise ApiError(
+                400, "bad-subscription-id",
+                f"subscription id must be an integer, got {raw!r}",
+            )
+
+    async def _handle_subscription(self, method, path):
+        """GET = the current snapshot, DELETE = unsubscribe."""
+        self._check_serving()
+        sub_id = self._parse_subscription_id(path)
+        try:
+            if method == "DELETE":
+                await self._run_engine(
+                    self.subscriptions.unsubscribe, sub_id
+                )
+                return 200, {"unsubscribed": sub_id}, DEFAULT_TENANT
+            snap = await self._run_engine(
+                self.subscriptions.snapshot, sub_id
+            )
+        except KeyError:
+            raise ApiError(
+                404, "unknown-subscription",
+                f"no subscription with id {sub_id}",
+            )
+        return 200, snap.to_dict(), DEFAULT_TENANT
 
     # ------------------------------------------------------------------
     # /v1/batch

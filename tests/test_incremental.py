@@ -184,3 +184,97 @@ class TestErrorsAndEdgeCases:
         index.add_object(make_objects(rng, 1)[0])
         with pytest.raises(KeyError):
             index.influence_of(cand.candidate_id)
+
+
+class TestSafeRegionFastPath:
+    def test_off_boundary_update_touches_zero_candidates(self, pf):
+        # The regression the shared safe-region check exists for: an
+        # update far from every candidate must examine none of them.
+        index = IncrementalPrimeLS(pf, 0.5)
+        index.add_candidate(Candidate(0, 0.0, 0.0))
+        index.add_object(MovingObject(0, np.array([[500.0, 500.0]] * 4)))
+        before = (
+            index.counters.pairs_pruned_ia,
+            index.counters.pairs_pruned_nib,
+            index.counters.pairs_validated,
+        )
+        index.update_object(MovingObject(0, np.array([[500.05, 500.05]] * 4)))
+        after = (
+            index.counters.pairs_pruned_ia,
+            index.counters.pairs_pruned_nib,
+            index.counters.pairs_validated,
+        )
+        assert index.counters.safe_region_hits == 1
+        assert after == before
+
+    def test_update_unknown_object_raises(self, pf):
+        index = IncrementalPrimeLS(pf, 0.5)
+        with pytest.raises(KeyError):
+            index.update_object(MovingObject(7, np.array([[1.0, 1.0]])))
+
+    def test_jittery_updates_stay_exact(self, pf, rng):
+        candidates = make_candidates(rng, 5, extent=20.0)
+        index = IncrementalPrimeLS(pf, 0.6)
+        for cand in candidates:
+            index.add_candidate(cand)
+        objects = {o.object_id: o for o in make_objects(rng, 6, extent=20.0)}
+        for obj in objects.values():
+            index.add_object(obj)
+        for _ in range(40):
+            oid = int(rng.integers(0, 6))
+            jitter = rng.normal(0, 0.01, objects[oid].positions.shape)
+            moved = MovingObject(oid, objects[oid].positions + jitter)
+            objects[oid] = moved
+            index.update_object(moved)
+        assert index.counters.safe_region_hits > 0
+        expected = batch_influences(
+            list(objects.values()), candidates, pf, 0.6
+        )
+        for j, cand in enumerate(candidates):
+            assert index.influence_of(cand.candidate_id) == expected[j]
+
+    def test_update_exactly_on_ia_boundary(self, pf):
+        # maxDist == radius is IA by Lemma 2 (<=, inclusive); the
+        # boundary update must count and its zero-slack region must not
+        # absorb the next update unchecked.
+        from repro.core.minmax_radius import MinMaxRadiusCache
+
+        radius = MinMaxRadiusCache(pf, 0.5).radius(1)
+        assert radius is not None
+        index = IncrementalPrimeLS(pf, 0.5)
+        index.add_candidate(Candidate(0, float(radius), 0.0))
+        on_boundary = MovingObject(0, np.array([[0.0, 0.0]]))
+        index.add_object(on_boundary)
+        assert index.influence_of(0) == 1
+        hits_before = index.counters.safe_region_hits
+        index.update_object(MovingObject(0, np.array([[0.0, 0.0]])))
+        assert index.counters.safe_region_hits == hits_before
+        assert index.influence_of(0) == 1
+
+    def test_dead_alive_transitions_with_regions(self, rng):
+        # An object that flips between uninfluenceable (1 position at
+        # LinearPF cap 0.5 < tau 0.9) and influenceable keeps exact
+        # bookkeeping across the safe-region bookkeeping.
+        pf = LinearPF(rho=0.5, scale=10.0)
+        index = IncrementalPrimeLS(pf, 0.9)
+        index.add_candidate(Candidate(0, 1.0, 1.0))
+        alive = MovingObject(0, np.array([[1.0, 1.0]] * 30))
+        dead = MovingObject(0, np.array([[1.0, 1.0]]))
+        index.add_object(alive)
+        assert index.influence_of(0) == 1
+        index.update_object(dead)
+        assert index.influence_of(0) == 0
+        index.update_object(alive)
+        assert index.influence_of(0) == 1
+
+    def test_remove_candidate_invalidates_regions(self, pf):
+        index = IncrementalPrimeLS(pf, 0.5)
+        index.add_candidate(Candidate(0, 900.0, 900.0))
+        index.add_candidate(Candidate(1, 1.0, 1.0))
+        index.add_object(MovingObject(0, np.array([[1.0, 1.0]] * 4)))
+        assert index.influence_of(1) == 1
+        index.remove_candidate(1)
+        # The cached region referenced the removed candidate's
+        # geometry; updates must still be exact without it.
+        index.update_object(MovingObject(0, np.array([[1.1, 1.1]] * 4)))
+        assert index.influence_of(0) == 0

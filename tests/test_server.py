@@ -606,3 +606,111 @@ class TestServeCLIFlags:
             ["serve-bench", "--server-url", "not-a-url"]
         ) == 2
         capsys.readouterr()
+
+
+class TestSubscriptionEndpoints:
+    @pytest.fixture(scope="class")
+    def server(self, world):
+        with BackgroundServer(QueryEngine(world)) as server:
+            yield server
+
+    def test_subscribe_ingest_get_delete_roundtrip(self, server):
+        status, body = _request(
+            server.port, "POST", "/v1/subscribe",
+            {"candidates": [[1.0, 1.0], [8.0, 8.0]], "tau": 0.3},
+        )
+        assert status == 200
+        sid = body["subscription_id"]
+        assert body["snapshot"]["version"] == 1
+        assert len(body["snapshot"]["influences"]) == 2
+
+        status, body = _request(
+            server.port, "POST", "/v1/ingest",
+            {"updates": [[500, 1.0, 1.0], [500, 1.1, 1.0], [501, 8.0, 8.0]]},
+        )
+        assert status == 200
+        assert body["applied"] == 3
+        assert body["shed"] == []
+        assert sid in body["changed_subscriptions"]
+
+        status, body = _request(
+            server.port, "GET", f"/v1/subscriptions/{sid}"
+        )
+        assert status == 200
+        assert body["version"] >= 2
+        # the two streamed objects sit on the two candidates
+        assert body["influences"][0] >= 1
+        assert body["influences"][1] >= 1
+
+        status, body = _request(
+            server.port, "DELETE", f"/v1/subscriptions/{sid}"
+        )
+        assert status == 200 and body == {"unsubscribed": sid}
+        status, body = _request(
+            server.port, "GET", f"/v1/subscriptions/{sid}"
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown-subscription"
+
+    def test_single_update_form(self, server):
+        status, body = _request(
+            server.port, "POST", "/v1/ingest",
+            {"object_id": 600, "x": 2.0, "y": 3.0},
+        )
+        assert status == 200 and body["applied"] == 1
+
+    def test_bad_inputs_are_400(self, server):
+        for payload in (
+            {},                                    # no updates
+            {"updates": []},                       # empty
+            {"updates": [[1, 2]]},                 # not a triple
+            {"updates": [["a", "b", "c"]]},        # not numbers
+        ):
+            status, body = _request(
+                server.port, "POST", "/v1/ingest", payload
+            )
+            assert status == 400
+            assert body["error"]["code"] == "bad-updates"
+        status, body = _request(
+            server.port, "POST", "/v1/subscribe",
+            {"candidates": [[1, 1]], "tau": 2.0},
+        )
+        assert (status, body["error"]["code"]) == (400, "bad-tau")
+        status, body = _request(
+            server.port, "POST", "/v1/subscribe",
+            {"candidates": [[1, 1]], "algorithm": "MAGIC"},
+        )
+        assert status == 400
+        status, body = _request(
+            server.port, "GET", "/v1/subscriptions/xyz"
+        )
+        assert (status, body["error"]["code"]) == (
+            400, "bad-subscription-id",
+        )
+
+    def test_wrong_methods_are_405(self, server):
+        status, _ = _request(server.port, "GET", "/v1/subscribe")
+        assert status == 405
+        status, _ = _request(server.port, "GET", "/v1/ingest")
+        assert status == 405
+        status, _ = _request(server.port, "POST", "/v1/subscriptions/1")
+        assert status == 405
+
+    def test_healthz_and_metrics_carry_subscription_state(self, server):
+        status, body = _request(server.port, "GET", "/healthz")
+        assert status == 200
+        assert "subscriptions" in body
+        assert body["subscriptions"]["objects"] >= 1
+        status, page = _request(server.port, "GET", "/metrics")
+        assert status == 200
+        assert "pinls_sub_updates_total" in page
+        assert "pinls_sub_objects" in page
+
+    def test_subscribe_error_bad_algorithm_is_400_not_500(self, server):
+        # ValueError from SubscriptionEngine.subscribe maps through
+        # _run_engine's ValueError -> 400 translation.
+        status, body = _request(
+            server.port, "POST", "/v1/subscribe",
+            {"candidates": [[0.0, 0.0]], "tau": 0.999999},
+        )
+        assert status == 200  # extreme-but-valid tau still works

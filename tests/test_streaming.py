@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.naive import NaiveAlgorithm
 from repro.core.streaming import SlidingWindowPrimeLS
-from repro.model import MovingObject
+from repro.model import Candidate, MovingObject
 from repro.prob import LinearPF
 
 from tests.helpers import make_candidates
@@ -146,3 +146,103 @@ class TestSlidingWindow:
             expected = replay_batch(windows, candidates, pf, 0.7)
             for j, cand in enumerate(candidates):
                 assert sw.influence_of(cand.candidate_id) == expected[j], i
+
+
+class TestSafeRegionFastPath:
+    def test_off_boundary_update_touches_zero_candidates(self, pf):
+        # The regression the shared safe-region check exists for: one
+        # observation far from every candidate, after the region is
+        # established, must examine no candidate at all.
+        sw = SlidingWindowPrimeLS(pf, 0.5, window=4)
+        sw.add_candidate(Candidate(0, 0.0, 0.0))
+        sw.observe(0, 500.0, 500.0)
+        before = (
+            sw.counters.pairs_pruned_ia,
+            sw.counters.pairs_pruned_nib,
+            sw.counters.pairs_validated,
+        )
+        sw.observe(0, 500.05, 500.05)
+        after = (
+            sw.counters.pairs_pruned_ia,
+            sw.counters.pairs_pruned_nib,
+            sw.counters.pairs_validated,
+        )
+        assert sw.counters.safe_region_hits == 1
+        assert after == before
+
+    def test_exactness_preserved_with_safe_regions(self, pf, rng):
+        # Jittery objects trigger many safe-region hits; the final
+        # influence table must still equal a batch replay.
+        candidates = make_candidates(rng, 5, extent=20.0)
+        sw = SlidingWindowPrimeLS(pf, 0.6, window=4)
+        for cand in candidates:
+            sw.add_candidate(cand)
+        windows: dict[int, deque] = {}
+        anchors = rng.uniform(0, 20, (6, 2))
+        for _ in range(50):
+            oid = int(rng.integers(0, 6))
+            x, y = anchors[oid] + rng.normal(0, 0.02, 2)
+            sw.observe(oid, float(x), float(y))
+            windows.setdefault(oid, deque(maxlen=4)).append((float(x), float(y)))
+        assert sw.counters.safe_region_hits > 0
+        expected = replay_batch(windows, candidates, pf, 0.6)
+        for j, cand in enumerate(candidates):
+            assert sw.influence_of(cand.candidate_id) == expected[j]
+
+    def test_new_candidate_invalidates_regions(self, pf):
+        sw = SlidingWindowPrimeLS(pf, 0.5, window=4)
+        sw.add_candidate(Candidate(0, 900.0, 900.0))
+        sw.observe(0, 1.0, 1.0)
+        sw.observe(0, 1.0, 1.0)
+        assert sw.counters.safe_region_hits == 1
+        # A candidate right on top of the object must be seen by the
+        # very next observation, despite the cached region.
+        sw.add_candidate(Candidate(1, 1.0, 1.0))
+        assert sw.influence_of(1) == 1
+        sw.observe(0, 1.0, 1.0)
+        assert sw.influence_of(1) == 1
+
+
+class TestStreamingEdgeCases:
+    def test_forget_unknown_object_raises(self, pf):
+        sw = SlidingWindowPrimeLS(pf, 0.5)
+        with pytest.raises(KeyError):
+            sw.forget_object(42)
+
+    def test_duplicate_candidate_rejected(self, pf):
+        sw = SlidingWindowPrimeLS(pf, 0.5)
+        sw.add_candidate(Candidate(0, 1.0, 1.0))
+        with pytest.raises(KeyError):
+            sw.add_candidate(Candidate(0, 2.0, 2.0))
+
+    def test_window_eviction_shrinking_mbr(self, pf):
+        # The object visits a far point, then returns; once the far
+        # point evicts, the MBR shrinks and the far candidate must be
+        # dropped from the influence table.
+        cand_near = Candidate(0, 0.0, 0.0)
+        sw = SlidingWindowPrimeLS(pf, 0.6, window=2)
+        sw.add_candidate(cand_near)
+        sw.observe(0, 0.0, 0.0)
+        sw.observe(0, 300.0, 300.0)   # MBR now spans 300 km
+        sw.observe(0, 0.0, 0.0)       # far point still in window
+        sw.observe(0, 0.0, 0.0)       # far point evicted: MBR is a point
+        windows = {0: deque([(0.0, 0.0), (0.0, 0.0)], maxlen=2)}
+        expected = replay_batch(windows, [cand_near], pf, 0.6)
+        assert sw.influence_of(0) == expected[0] == 1
+
+    def test_update_exactly_on_ia_boundary(self, pf):
+        # maxDist == radius is IA by Lemma 2 (<=, inclusive); the
+        # boundary observation must count, and the zero-slack region
+        # must not absorb the next observation unchecked.
+        from repro.core.minmax_radius import MinMaxRadiusCache
+
+        radius = MinMaxRadiusCache(pf, 0.5).radius(1)
+        assert radius is not None
+        sw = SlidingWindowPrimeLS(pf, 0.5, window=1)
+        sw.add_candidate(Candidate(0, float(radius), 0.0))
+        sw.observe(0, 0.0, 0.0)       # point MBR exactly radius away
+        assert sw.influence_of(0) == 1
+        hits_before = sw.counters.safe_region_hits
+        sw.observe(0, 0.0, 0.0)       # same spot: slack 0, never "safe"
+        assert sw.counters.safe_region_hits == hits_before
+        assert sw.influence_of(0) == 1

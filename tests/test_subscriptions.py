@@ -1,0 +1,396 @@
+"""Tests for the standing-query subscription engine.
+
+The load-bearing property is **bit-identity**: after any interleaving
+of ingests, subscribes, and unsubscribes, every subscription's
+maintained snapshot equals a from-scratch one-shot
+:meth:`QueryEngine.query` over the same fleet state.  The Hypothesis
+property drives random interleavings against exactly that oracle; the
+unit tests pin the serving behaviours around it (admission sheds,
+update-storm faults, events, metrics, JSONL records).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.faults import FaultInjector, FaultSpec
+from repro.engine.session import QueryEngine
+from repro.engine.subscriptions import (
+    SUBSCRIPTION_ALGORITHMS,
+    SubscriptionEngine,
+    SubscriptionEvent,
+    SubscriptionSnapshot,
+    UpdateShed,
+)
+from repro.model import Candidate
+from repro.prob import LinearPF, PowerLawPF
+
+
+def oracle_influences(engine, cand_pairs, tau, pf):
+    """Fresh one-shot full influence table over the engine's fleet."""
+    fleet = engine.fleet()
+    q = QueryEngine(fleet, workers=1, default_pf=pf)
+    res = q.query(
+        [Candidate(j, x, y) for j, (x, y) in enumerate(cand_pairs)],
+        tau=tau,
+        algorithm="PIN",
+    )
+    return tuple(res.influences[j] for j in range(len(cand_pairs))), res
+
+
+class TestSubscribeBasics:
+    def test_first_snapshot_matches_oracle(self, pf, rng):
+        eng = SubscriptionEngine(window=4, default_pf=pf)
+        for _ in range(120):
+            eng.ingest(int(rng.integers(0, 15)), *rng.uniform(0, 25, 2))
+        cands = [tuple(map(float, xy)) for xy in rng.uniform(0, 25, (6, 2))]
+        sid = eng.subscribe(cands, tau=0.4)
+        snap = eng.snapshot(sid)
+        expected, res = oracle_influences(eng, cands, 0.4, pf)
+        assert snap.influences == expected
+        assert snap.best_candidate.candidate_id == res.best_candidate.candidate_id
+        assert snap.best_influence == res.best_influence
+        assert snap.version == 1
+
+    def test_maintained_snapshot_matches_oracle(self, pf, rng):
+        eng = SubscriptionEngine(window=3, default_pf=pf)
+        cands = [tuple(map(float, xy)) for xy in rng.uniform(0, 25, (5, 2))]
+        sid = eng.subscribe(cands, tau=0.4)
+        for _ in range(300):
+            eng.ingest(int(rng.integers(0, 12)), *rng.uniform(0, 25, 2))
+        snap = eng.snapshot(sid)
+        expected, res = oracle_influences(eng, cands, 0.4, pf)
+        assert snap.influences == expected
+        assert snap.best_candidate.candidate_id == res.best_candidate.candidate_id
+
+    def test_tie_break_matches_one_shot(self, pf):
+        # Two equally influenced candidates: the lower index wins, on
+        # both the one-shot and the maintained path.
+        eng = SubscriptionEngine(window=2, default_pf=pf)
+        cands = [(0.0, 0.0), (0.1, 0.0)]
+        sid = eng.subscribe(cands, tau=0.3)
+        eng.ingest(0, 0.05, 0.0)
+        snap = eng.snapshot(sid)
+        expected, res = oracle_influences(eng, cands, 0.3, pf)
+        assert snap.influences == expected
+        assert snap.best_candidate.candidate_id == res.best_candidate.candidate_id
+
+    def test_validation_errors(self, pf):
+        eng = SubscriptionEngine(default_pf=pf)
+        with pytest.raises(ValueError, match="tau"):
+            eng.subscribe([(0, 0)], tau=1.5)
+        with pytest.raises(ValueError, match="algorithm"):
+            eng.subscribe([(0, 0)], algorithm="MAGIC")
+        with pytest.raises(ValueError, match="at least one candidate"):
+            eng.subscribe([])
+        with pytest.raises(ValueError, match="window"):
+            SubscriptionEngine(window=0, default_pf=pf)
+        with pytest.raises(ValueError, match="shed policy"):
+            SubscriptionEngine(default_pf=pf, max_updates_per_round=4,
+                               shed_policy="nope")
+        with pytest.raises(ValueError, match="default_pf"):
+            SubscriptionEngine().subscribe([(0, 0)])
+
+    def test_unknown_ids_raise(self, pf):
+        eng = SubscriptionEngine(default_pf=pf)
+        with pytest.raises(KeyError):
+            eng.snapshot(42)
+        with pytest.raises(KeyError):
+            eng.unsubscribe(42)
+        with pytest.raises(KeyError):
+            eng.forget_object(42)
+
+    def test_algorithms_all_accepted(self, pf):
+        eng = SubscriptionEngine(default_pf=pf)
+        eng.ingest(0, 1.0, 1.0)
+        for alg in SUBSCRIPTION_ALGORITHMS:
+            sid = eng.subscribe([(1.0, 1.0)], tau=0.3, algorithm=alg)
+            assert eng.snapshot(sid).algorithm == alg
+
+    def test_groups_shared_by_pf_and_tau(self, pf):
+        eng = SubscriptionEngine(default_pf=pf)
+        eng.subscribe([(0, 0)], tau=0.3)
+        eng.subscribe([(1, 1)], tau=0.3)       # same (pf, tau): same group
+        eng.subscribe([(2, 2)], tau=0.5)       # different tau: new group
+        eng.subscribe([(3, 3)], tau=0.3, pf=LinearPF())
+        assert eng.stats()["groups"] == 3
+        assert eng.stats()["subscriptions"] == 4
+
+
+class TestUnsubscribeAndForget:
+    def test_unsubscribe_removes_and_keeps_others_exact(self, pf, rng):
+        eng = SubscriptionEngine(window=3, default_pf=pf)
+        cands_a = [tuple(map(float, xy)) for xy in rng.uniform(0, 20, (4, 2))]
+        cands_b = [tuple(map(float, xy)) for xy in rng.uniform(0, 20, (3, 2))]
+        sid_a = eng.subscribe(cands_a, tau=0.4)
+        sid_b = eng.subscribe(cands_b, tau=0.4)
+        for _ in range(150):
+            eng.ingest(int(rng.integers(0, 10)), *rng.uniform(0, 20, 2))
+        eng.unsubscribe(sid_b)
+        assert eng.subscriptions() == [sid_a]
+        for _ in range(150):
+            eng.ingest(int(rng.integers(0, 10)), *rng.uniform(0, 20, 2))
+        snap = eng.snapshot(sid_a)
+        expected, _ = oracle_influences(eng, cands_a, 0.4, pf)
+        assert snap.influences == expected
+
+    def test_unsubscribing_last_sub_drops_group(self, pf):
+        eng = SubscriptionEngine(default_pf=pf)
+        sid = eng.subscribe([(0, 0)], tau=0.3)
+        assert eng.stats()["groups"] == 1
+        eng.unsubscribe(sid)
+        assert eng.stats()["groups"] == 0
+        assert eng.stats()["subscriptions"] == 0
+
+    def test_forget_object_rolls_back(self, pf, rng):
+        eng = SubscriptionEngine(window=4, default_pf=pf)
+        cands = [tuple(map(float, xy)) for xy in rng.uniform(0, 15, (4, 2))]
+        sid = eng.subscribe(cands, tau=0.4)
+        for _ in range(100):
+            eng.ingest(int(rng.integers(0, 8)), *rng.uniform(0, 15, 2))
+        for oid in [0, 3, 5]:
+            eng.forget_object(oid)
+        assert eng.n_objects == 5
+        snap = eng.snapshot(sid)
+        expected, _ = oracle_influences(eng, cands, 0.4, pf)
+        assert snap.influences == expected
+
+    def test_slot_reuse_after_forget(self, pf, rng):
+        eng = SubscriptionEngine(window=2, default_pf=pf)
+        sid = eng.subscribe([(5.0, 5.0)], tau=0.3)
+        for oid in range(6):
+            eng.ingest(oid, *rng.uniform(0, 10, 2))
+        eng.forget_object(2)
+        eng.ingest(99, 5.0, 5.0)        # reuses object 2's slot
+        snap = eng.snapshot(sid)
+        expected, _ = oracle_influences(eng, [(5.0, 5.0)], 0.3, pf)
+        assert snap.influences == expected
+
+
+class TestSafeRegions:
+    def test_off_boundary_update_touches_zero_candidates(self, pf):
+        # The regression the safe-region index exists for: an object
+        # far from every candidate absorbs repeat updates with zero
+        # candidate work after the first recompute.
+        eng = SubscriptionEngine(window=4, default_pf=pf)
+        eng.subscribe([(0.0, 0.0)], tau=0.5)
+        eng.ingest(0, 500.0, 500.0)
+        r = eng.ingest(0, 500.1, 500.1)     # tiny move, far off boundary
+        assert r.safe_region_hits == 1
+        assert r.crossings == 0
+        assert r.validations == 0
+
+    def test_crossing_light_workload_mostly_hits(self, pf, rng):
+        eng = SubscriptionEngine(window=4, default_pf=pf)
+        eng.subscribe([(0.0, 0.0)], tau=0.5)
+        # Objects jitter in place, far from the candidate.
+        anchors = rng.uniform(200.0, 300.0, (10, 2))
+        for _ in range(30):
+            for oid in range(10):
+                x, y = anchors[oid] + rng.normal(0, 0.01, 2)
+                eng.ingest(oid, float(x), float(y))
+        stats = eng.stats()
+        assert stats["safe_region_hits"] > stats["crossings"]
+
+    def test_exact_ia_boundary_never_caches(self, pf):
+        # maxDist == radius is IA by Lemma 2 (inclusive), but its
+        # margin is 0 — the safe region must not absorb the next
+        # update on a slack-0 object.
+        from repro.core.minmax_radius import MinMaxRadiusCache
+
+        radius = MinMaxRadiusCache(pf, 0.5).radius(1)
+        assert radius is not None
+        eng = SubscriptionEngine(window=1, default_pf=pf)
+        sid = eng.subscribe([(float(radius), 0.0)], tau=0.5)
+        r1 = eng.ingest(7, 0.0, 0.0)        # point MBR exactly on boundary
+        assert eng.snapshot(sid).influences == (1,)
+        assert r1.crossings == 1
+        r2 = eng.ingest(7, 0.0, 0.0)        # same spot: still not safe
+        assert r2.safe_region_hits == 0
+        assert r2.crossings == 1
+        assert eng.snapshot(sid).influences == (1,)
+
+
+class TestEventsAndCallbacks:
+    def test_versions_and_events(self, pf):
+        eng = SubscriptionEngine(window=2, default_pf=pf)
+        sid = eng.subscribe([(0.0, 0.0)], tau=0.3)
+        assert eng.snapshot(sid).version == 1
+        eng.ingest(0, 0.0, 0.0)             # gains influence: version 2
+        assert eng.snapshot(sid).version == 2
+        events = eng.drain_events()
+        assert [e.version for e in events] == [2]
+        assert isinstance(events[0], SubscriptionEvent)
+        assert events[0].best_influence == 1
+        assert eng.drain_events() == []
+
+    def test_no_event_without_change(self, pf):
+        eng = SubscriptionEngine(window=4, default_pf=pf)
+        sid = eng.subscribe([(0.0, 0.0)], tau=0.5)
+        eng.ingest(0, 900.0, 900.0)         # far away: no influence change
+        assert eng.snapshot(sid).version == 1
+        assert eng.drain_events() == []
+
+    def test_callback_receives_snapshot(self, pf):
+        seen: list[SubscriptionSnapshot] = []
+        eng = SubscriptionEngine(window=2, default_pf=pf)
+        sid = eng.subscribe([(1.0, 1.0)], tau=0.3, callback=seen.append)
+        eng.ingest(0, 1.0, 1.0)
+        assert len(seen) == 1
+        assert seen[0].subscription_id == sid
+        assert seen[0].influences == (1,)
+
+    def test_event_queue_bounded(self, pf):
+        eng = SubscriptionEngine(window=1, default_pf=pf, max_events=3)
+        eng.subscribe([(0.0, 0.0)], tau=0.3)
+        for i in range(6):
+            # alternate near/far so every ingest changes the result
+            eng.ingest(0, 0.0 if i % 2 == 0 else 900.0, 0.0)
+        assert len(eng.drain_events()) == 3
+        assert eng.events_dropped == 3
+
+
+class TestAdmissionAndFaults:
+    def test_round_cap_sheds_excess(self, pf):
+        eng = SubscriptionEngine(
+            window=2, default_pf=pf,
+            max_updates_per_round=2, shed_policy="reject",
+        )
+        sid = eng.subscribe([(0.0, 0.0)], tau=0.3)
+        r = eng.ingest_batch([(i, 0.0, 0.0) for i in range(5)])
+        assert r.applied == 2
+        assert len(r.shed) == 3
+        assert all(isinstance(s, UpdateShed) for s in r.shed)
+        assert all(s.reason == "queue-full" for s in r.shed)
+        # Shed updates were never applied: the fleet has 2 objects and
+        # the snapshot stays bit-identical to the oracle over them.
+        assert eng.n_objects == 2
+        expected, _ = oracle_influences(eng, [(0.0, 0.0)], 0.3, pf)
+        assert eng.snapshot(sid).influences == expected
+
+    def test_update_storm_fault_sheds_whole_round(self, pf):
+        inj = FaultInjector([FaultSpec(kind="update-storm", times=1)])
+        eng = SubscriptionEngine(
+            window=2, default_pf=pf,
+            max_updates_per_round=8, fault_injector=inj,
+        )
+        r1 = eng.ingest_batch([(i, 1.0, 1.0) for i in range(4)])
+        assert r1.applied == 0 and len(r1.shed) == 4
+        r2 = eng.ingest_batch([(i, 1.0, 1.0) for i in range(4)])
+        assert r2.applied == 4 and not r2.shed    # storm consumed
+
+    def test_batch_coalesces_per_object(self, pf):
+        eng = SubscriptionEngine(window=4, default_pf=pf)
+        eng.subscribe([(0.0, 0.0)], tau=0.3)
+        r = eng.ingest_batch([(0, 0.0, 0.0), (0, 0.1, 0.0), (0, 0.2, 0.0)])
+        assert r.applied == 3
+        # one object touched: at most one recompute for it
+        assert r.crossings + r.safe_region_hits == 1
+
+
+class TestObservability:
+    def test_metrics_registered_and_counting(self, pf):
+        eng = SubscriptionEngine(window=2, default_pf=pf)
+        eng.subscribe([(0.0, 0.0)], tau=0.3)
+        eng.ingest(0, 0.0, 0.0)
+        reg = eng.metrics
+        for name in (
+            "pinls_sub_updates_total",
+            "pinls_sub_safe_region_hits_total",
+            "pinls_sub_crossings_total",
+            "pinls_sub_validations_total",
+            "pinls_sub_notifications_total",
+            "pinls_sub_ingest_seconds",
+            "pinls_sub_recompute_seconds",
+            "pinls_sub_subscriptions",
+            "pinls_sub_objects",
+            "pinls_sub_groups",
+            "pinls_sub_pending_events",
+        ):
+            assert reg.get(name) is not None, name
+        page = reg.render()
+        assert 'pinls_sub_updates_total{result="applied"} 1' in page
+        assert "pinls_sub_objects 1" in page
+
+    def test_jsonl_records(self, pf, tmp_path):
+        path = tmp_path / "sub.jsonl"
+        eng = SubscriptionEngine(window=2, default_pf=pf,
+                                 metrics_path=path,
+                                 max_updates_per_round=1)
+        eng.subscribe([(0.0, 0.0)], tau=0.3)
+        eng.ingest_batch([(0, 0.0, 0.0), (1, 5.0, 5.0)])
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        kinds = {l["kind"] for l in lines}
+        assert "ingest" in kinds
+        assert "recompute" in kinds
+        assert "ingest-shed" in kinds
+        assert all(l["schema"] == 1 for l in lines)
+
+    def test_trace_spans(self, pf, tmp_path):
+        from repro.engine.trace import Tracer
+
+        tracer = Tracer(enabled=True)
+        eng = SubscriptionEngine(window=2, default_pf=pf, tracer=tracer)
+        eng.subscribe([(0.0, 0.0)], tau=0.3)
+        eng.ingest(0, 0.0, 0.0)
+        assert tracer.exported == 1
+        tree = tracer.traces[0]
+        assert tree["name"] == "ingest"
+        child_names = [c["name"] for c in tree.get("children", ())]
+        assert "recompute" in child_names
+
+
+# ----------------------------------------------------------------------
+# The bit-identity property
+# ----------------------------------------------------------------------
+coord = st.integers(min_value=0, max_value=12).map(float)
+op = st.one_of(
+    st.tuples(st.just("ingest"),
+              st.integers(min_value=0, max_value=5), coord, coord),
+    st.tuples(st.just("subscribe"),
+              st.lists(st.tuples(coord, coord), min_size=1, max_size=3),
+              st.sampled_from([0.3, 0.6])),
+    st.tuples(st.just("unsubscribe")),
+    st.tuples(st.just("forget"), st.integers(min_value=0, max_value=5)),
+)
+
+
+class TestBitIdentityProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=st.lists(op, min_size=1, max_size=25))
+    def test_snapshots_match_fresh_one_shot(self, ops):
+        pf = PowerLawPF(rho=0.9, lam=1.0)
+        eng = SubscriptionEngine(window=3, default_pf=pf)
+        live: dict[int, tuple[list, float]] = {}
+        for entry in ops:
+            if entry[0] == "ingest":
+                _, oid, x, y = entry
+                eng.ingest(oid, x, y)
+            elif entry[0] == "subscribe":
+                _, cands, tau = entry
+                sid = eng.subscribe(cands, tau=tau)
+                live[sid] = (cands, tau)
+            elif entry[0] == "unsubscribe" and live:
+                sid = next(iter(live))
+                eng.unsubscribe(sid)
+                del live[sid]
+            elif entry[0] == "forget" and eng.n_objects:
+                oid = sorted(eng._windows)[0]
+                eng.forget_object(oid)
+        for sid, (cands, tau) in live.items():
+            snap = eng.snapshot(sid)
+            if eng.n_objects == 0:
+                # the one-shot engine refuses an empty fleet; influence
+                # over nothing is zero everywhere
+                assert snap.influences == (0,) * len(cands)
+                continue
+            expected, res = oracle_influences(eng, cands, tau, pf)
+            assert snap.influences == expected
+            assert snap.best_candidate.candidate_id == \
+                res.best_candidate.candidate_id
+            assert snap.best_influence == res.best_influence

@@ -1,6 +1,6 @@
-"""Docs health checker: relative links and API-reference coverage.
+"""Docs health checker: links, API coverage, metric-catalog coverage.
 
-Two checks, both cheap enough for every CI run:
+Four checks, all cheap enough for every CI run:
 
 1. every relative link in ``README.md`` and ``docs/**/*.md`` resolves
    to a file that exists (external ``http(s)``/``mailto`` links and
@@ -8,9 +8,15 @@ Two checks, both cheap enough for every CI run:
    before resolving);
 2. every public method and property of ``repro.engine.QueryEngine``
    is mentioned in ``docs/api.md`` — the API reference must not
-   silently fall behind the engine surface.
+   silently fall behind the engine surface;
+3. every public *class* exported by ``repro.engine`` (its ``__all__``)
+   is mentioned in ``docs/api.md`` — new serving-layer types must
+   land in the reference with the code that adds them;
+4. every ``pinls_*`` Prometheus series name that appears as a literal
+   anywhere under ``src/`` is cataloged in ``docs/observability.md``
+   — the metric catalog must be the complete scrape surface.
 
-Exit status 0 when both pass, 1 with one line per problem otherwise.
+Exit status 0 when all pass, 1 with one line per problem otherwise.
 Run as ``PYTHONPATH=src python tools/check_docs.py`` from the repo
 root (CI's "Docs health" step).
 """
@@ -89,9 +95,65 @@ def check_api_coverage() -> list[str]:
     return problems
 
 
+def public_engine_classes() -> list[str]:
+    """Class names exported via ``repro.engine.__all__``."""
+    sys.path.insert(0, str(REPO / "src"))
+    import repro.engine as engine
+
+    return sorted(
+        name for name in engine.__all__
+        if inspect.isclass(getattr(engine, name))
+    )
+
+
+def check_class_coverage() -> list[str]:
+    """Return one problem string per engine class missing from api.md."""
+    api_md = (REPO / "docs" / "api.md").read_text()
+    problems = []
+    for name in public_engine_classes():
+        if name not in api_md:
+            problems.append(
+                f"docs/api.md: public repro.engine class {name} "
+                f"is undocumented"
+            )
+    return problems
+
+
+# A Prometheus series literal: the repo-wide pinls_ prefix followed by
+# the metric name proper.  Matching quoted literals only keeps derived
+# strings (f-strings building label lines, render output) out of scope.
+_SERIES = re.compile(r"""["'](pinls_[a-z][a-z0-9_]*)["']""")
+
+
+def source_metric_series() -> list[str]:
+    """Every ``pinls_*`` series name appearing as a literal in src/."""
+    names: set[str] = set()
+    for py in sorted((REPO / "src").rglob("*.py")):
+        for match in _SERIES.finditer(py.read_text()):
+            names.add(match.group(1))
+    return sorted(names)
+
+
+def check_metric_catalog() -> list[str]:
+    """Return one problem string per series missing from observability.md."""
+    catalog = (REPO / "docs" / "observability.md").read_text()
+    problems = []
+    for name in source_metric_series():
+        if name not in catalog:
+            problems.append(
+                f"docs/observability.md: series {name} is not cataloged"
+            )
+    return problems
+
+
 def main() -> int:
-    """Run both checks; print problems; return a process exit code."""
-    problems = check_links() + check_api_coverage()
+    """Run all checks; print problems; return a process exit code."""
+    problems = (
+        check_links()
+        + check_api_coverage()
+        + check_class_coverage()
+        + check_metric_catalog()
+    )
     for problem in problems:
         print(problem)
     if problems:
